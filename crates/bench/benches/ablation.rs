@@ -1,0 +1,141 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out:
+//!
+//! 1. **Consolidation** — shared virtual logs vs one log per partition,
+//!    many small streams (the core claim);
+//! 2. **Active vs passive replication** — KerA configured like Kafka
+//!    (one log per partition) vs the Kafka baseline itself;
+//! 3. **Backup selection** — round-robin vs random-distinct selector
+//!    cost;
+//! 4. **Replication capacity overshoot** — 1 vs 64 shared virtual logs
+//!    at 128 streams;
+//! 5. **IO-cost sensitivity** — the calibrated per-storage-write cost
+//!    (EXPERIMENTS.md): how the KerA/Kafka gap responds to it.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kera_common::config::VirtualLogPolicy;
+use kera_common::ids::NodeId;
+use kera_harness::experiment::{ExperimentConfig, SystemKind};
+use kera_harness::rig::BenchRig;
+use kera_vlog::selector::{BackupSelector, SelectionPolicy};
+
+fn small_streams(system: SystemKind, policy: VirtualLogPolicy) -> ExperimentConfig {
+    ExperimentConfig {
+        system,
+        producers: 4,
+        streams: 64,
+        streamlets_per_stream: 1,
+        chunk_size: 1024,
+        replication_factor: 3,
+        vlog_policy: policy,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn bench_consolidation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_consolidation");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g.throughput(Throughput::Elements(1));
+    let variants = [
+        ("shared_4_vlogs", VirtualLogPolicy::SharedPerBroker(4)),
+        ("one_log_per_partition", VirtualLogPolicy::PerStreamlet),
+    ];
+    for (name, policy) in variants {
+        let rig = BenchRig::start(&small_streams(SystemKind::Kera, policy)).unwrap();
+        g.bench_function(name, |b| b.iter_custom(|iters| rig.ingest(iters)));
+        rig.stop();
+    }
+    g.finish();
+}
+
+fn bench_active_vs_passive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_active_vs_passive");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g.throughput(Throughput::Elements(1));
+    // Same partitioning (one replicated log per partition) so only the
+    // replication direction differs.
+    let variants = [
+        ("kera_active_push", SystemKind::Kera),
+        ("kafka_passive_pull", SystemKind::Kafka),
+    ];
+    for (name, system) in variants {
+        let rig =
+            BenchRig::start(&small_streams(system, VirtualLogPolicy::PerStreamlet)).unwrap();
+        g.bench_function(name, |b| b.iter_custom(|iters| rig.ingest(iters)));
+        rig.stop();
+    }
+    g.finish();
+}
+
+fn bench_capacity_overshoot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_vlog_count");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g.throughput(Throughput::Elements(1));
+    for vlogs in [1u32, 4, 64] {
+        let mut cfg = small_streams(SystemKind::Kera, VirtualLogPolicy::SharedPerBroker(vlogs));
+        cfg.streams = 128;
+        cfg.producers = 8;
+        let rig = BenchRig::start(&cfg).unwrap();
+        g.bench_function(BenchmarkId::from_parameter(vlogs), |b| {
+            b.iter_custom(|iters| rig.ingest(iters))
+        });
+        rig.stop();
+    }
+    g.finish();
+}
+
+fn bench_backup_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_backup_selection");
+    let nodes: Vec<NodeId> = (0..16).map(NodeId).collect();
+    for (name, policy) in [
+        ("round_robin", SelectionPolicy::RoundRobin),
+        ("random_distinct", SelectionPolicy::RandomDistinct),
+    ] {
+        g.bench_function(name, |b| {
+            let mut sel = BackupSelector::new(NodeId(0), &nodes, policy, 42);
+            b.iter(|| sel.select(2).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_io_cost_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_io_cost");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    g.throughput(Throughput::Elements(1));
+    for io_us in [0u64, 10, 30] {
+        for (name, system, policy) in [
+            ("kera", SystemKind::Kera, VirtualLogPolicy::SharedPerBroker(4)),
+            ("kafka", SystemKind::Kafka, VirtualLogPolicy::PerStreamlet),
+        ] {
+            let mut cfg = small_streams(system, policy);
+            cfg.streams = 128;
+            cfg.io_cost_ns = io_us * 1000;
+            let rig = BenchRig::start(&cfg).unwrap();
+            g.bench_function(BenchmarkId::new(name, format!("{io_us}us")), |b| {
+                b.iter_custom(|iters| rig.ingest(iters))
+            });
+            rig.stop();
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_consolidation,
+    bench_active_vs_passive,
+    bench_capacity_overshoot,
+    bench_backup_selection,
+    bench_io_cost_sensitivity
+);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Criterion bench for Figure 08 (representative points; full sweep in
+//! `cargo run --release -p kera-harness --bin fig08`).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig08(c: &mut Criterion) {
+    kera_bench::bench_figure(c, "fig08");
+}
+
+criterion_group!(benches, fig08);
+criterion_main!(benches);

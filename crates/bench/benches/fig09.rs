@@ -1,0 +1,10 @@
+//! Criterion bench for Figure 09 (representative points; full sweep in
+//! `cargo run --release -p kera-harness --bin fig09`).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig09(c: &mut Criterion) {
+    kera_bench::bench_figure(c, "fig09");
+}
+
+criterion_group!(benches, fig09);
+criterion_main!(benches);

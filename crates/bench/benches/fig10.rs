@@ -1,0 +1,10 @@
+//! Criterion bench for Figure 10 (representative points; full sweep in
+//! `cargo run --release -p kera-harness --bin fig10`).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig10(c: &mut Criterion) {
+    kera_bench::bench_figure(c, "fig10");
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

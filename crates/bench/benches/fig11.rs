@@ -1,0 +1,10 @@
+//! Criterion bench for Figure 11 (representative points; full sweep in
+//! `cargo run --release -p kera-harness --bin fig11`).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig11(c: &mut Criterion) {
+    kera_bench::bench_figure(c, "fig11");
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Criterion bench for Figure 12 (representative points; full sweep in
+//! `cargo run --release -p kera-harness --bin fig12`).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig12(c: &mut Criterion) {
+    kera_bench::bench_figure(c, "fig12");
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Criterion bench for Figure 13 (representative points; full sweep in
+//! `cargo run --release -p kera-harness --bin fig13`).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig13(c: &mut Criterion) {
+    kera_bench::bench_figure(c, "fig13");
+}
+
+criterion_group!(benches, fig13);
+criterion_main!(benches);

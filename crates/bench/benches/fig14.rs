@@ -1,0 +1,10 @@
+//! Criterion bench for Figure 14 (representative points; full sweep in
+//! `cargo run --release -p kera-harness --bin fig14`).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig14(c: &mut Criterion) {
+    kera_bench::bench_figure(c, "fig14");
+}
+
+criterion_group!(benches, fig14);
+criterion_main!(benches);

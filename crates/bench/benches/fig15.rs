@@ -1,0 +1,10 @@
+//! Criterion bench for Figure 15 (representative points; full sweep in
+//! `cargo run --release -p kera-harness --bin fig15`).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig15(c: &mut Criterion) {
+    kera_bench::bench_figure(c, "fig15");
+}
+
+criterion_group!(benches, fig15);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Criterion bench for Figure 16 (representative points; full sweep in
+//! `cargo run --release -p kera-harness --bin fig16`).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig16(c: &mut Criterion) {
+    kera_bench::bench_figure(c, "fig16");
+}
+
+criterion_group!(benches, fig16);
+criterion_main!(benches);

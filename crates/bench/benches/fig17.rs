@@ -1,0 +1,10 @@
+//! Criterion bench for Figure 17 (representative points; full sweep in
+//! `cargo run --release -p kera-harness --bin fig17`).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig17(c: &mut Criterion) {
+    kera_bench::bench_figure(c, "fig17");
+}
+
+criterion_group!(benches, fig17);
+criterion_main!(benches);

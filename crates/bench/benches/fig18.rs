@@ -1,0 +1,10 @@
+//! Criterion bench for Figure 18 (representative points; full sweep in
+//! `cargo run --release -p kera-harness --bin fig18`).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig18(c: &mut Criterion) {
+    kera_bench::bench_figure(c, "fig18");
+}
+
+criterion_group!(benches, fig18);
+criterion_main!(benches);

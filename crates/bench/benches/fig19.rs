@@ -1,0 +1,10 @@
+//! Criterion bench for Figure 19 (representative points; full sweep in
+//! `cargo run --release -p kera-harness --bin fig19`).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig19(c: &mut Criterion) {
+    kera_bench::bench_figure(c, "fig19");
+}
+
+criterion_group!(benches, fig19);
+criterion_main!(benches);

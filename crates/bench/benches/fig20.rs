@@ -1,0 +1,10 @@
+//! Criterion bench for Figure 20 (representative points; full sweep in
+//! `cargo run --release -p kera-harness --bin fig20`).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig20(c: &mut Criterion) {
+    kera_bench::bench_figure(c, "fig20");
+}
+
+criterion_group!(benches, fig20);
+criterion_main!(benches);

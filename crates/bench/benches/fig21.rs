@@ -1,0 +1,10 @@
+//! Criterion bench for Figure 21 (representative points; full sweep in
+//! `cargo run --release -p kera-harness --bin fig21`).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig21(c: &mut Criterion) {
+    kera_bench::bench_figure(c, "fig21");
+}
+
+criterion_group!(benches, fig21);
+criterion_main!(benches);

@@ -1,0 +1,218 @@
+//! Microbenchmarks of the hot-path building blocks: checksums, record
+//! and chunk codecs, segment appends, virtual-log appends and the RPC
+//! stack itself.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kera_common::checksum::crc32c;
+use kera_common::config::NetworkModel;
+use kera_common::ids::*;
+use kera_rpc::{InMemNetwork, NodeRuntime, NullService, RequestContext, Service};
+use kera_storage::buffer::AppendBuffer;
+use kera_storage::segment::Segment;
+use kera_vlog::channel::MockChannel;
+use kera_vlog::selector::{BackupSelector, SelectionPolicy};
+use kera_vlog::vlog::VirtualLog;
+use kera_vlog::vseg::ChunkRef;
+use kera_wire::chunk::{ChunkBuilder, ChunkView};
+use kera_wire::frames::OpCode;
+use kera_wire::record::Record;
+
+fn bench_crc32c(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32c");
+    for size in [64usize, 1024, 16 * 1024, 1 << 20] {
+        let data = vec![0xa5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| crc32c(std::hint::black_box(data)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_record_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("record");
+    let payload = vec![7u8; 100];
+    let rec = Record::value_only(&payload);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode_100B", |b| {
+        let mut out = Vec::with_capacity(256);
+        b.iter(|| {
+            out.clear();
+            rec.encode_into(&mut out)
+        });
+    });
+    let mut buf = Vec::new();
+    rec.encode_into(&mut buf);
+    g.bench_function("parse_and_verify_100B", |b| {
+        b.iter(|| {
+            let v = kera_wire::record::RecordView::parse(std::hint::black_box(&buf)).unwrap();
+            v.verify().unwrap();
+            v.value().len()
+        });
+    });
+    g.finish();
+}
+
+fn sample_chunk(records: usize) -> Bytes {
+    let mut b = ChunkBuilder::new(64 * 1024, ProducerId(0), StreamId(1), StreamletId(0));
+    let payload = vec![1u8; 100];
+    for _ in 0..records {
+        assert!(b.append(&Record::value_only(&payload)));
+    }
+    b.seal()
+}
+
+fn bench_chunk_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunk");
+    let payload = vec![1u8; 100];
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("build_seal_100rec", |b| {
+        let mut builder = ChunkBuilder::new(64 * 1024, ProducerId(0), StreamId(1), StreamletId(0));
+        b.iter(|| {
+            builder.reset(ProducerId(0), StreamId(1), StreamletId(0));
+            for _ in 0..100 {
+                builder.append(&Record::value_only(&payload));
+            }
+            builder.seal()
+        });
+    });
+    let chunk = sample_chunk(100);
+    g.bench_function("parse_verify_100rec", |b| {
+        b.iter(|| {
+            let v = ChunkView::parse(std::hint::black_box(&chunk)).unwrap();
+            v.verify().unwrap();
+            v.records().count()
+        });
+    });
+    g.finish();
+}
+
+fn bench_append_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("append_buffer");
+    let data = vec![0u8; 1024];
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("append_1KB", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            let mut remaining = iters;
+            while remaining > 0 {
+                let n = remaining.min(16 * 1024);
+                let buf = AppendBuffer::new(n as usize * 1024);
+                let start = std::time::Instant::now();
+                for _ in 0..n {
+                    buf.append(&data).unwrap();
+                }
+                total += start.elapsed();
+                remaining -= n;
+            }
+            total
+        });
+    });
+    g.finish();
+}
+
+fn bench_segment_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segment");
+    let chunk = sample_chunk(10);
+    g.throughput(Throughput::Elements(10));
+    g.bench_function("append_chunk_10rec", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            let mut remaining = iters;
+            let gref = GroupRef::new(StreamId(1), StreamletId(0), GroupId(0));
+            while remaining > 0 {
+                let n = remaining.min(4096);
+                let seg = Segment::new(gref, SegmentId(0), (n as usize + 1) * chunk.len());
+                let start = std::time::Instant::now();
+                for i in 0..n {
+                    seg.append_chunk(&chunk, i * 10).unwrap();
+                }
+                total += start.elapsed();
+                remaining -= n;
+            }
+            total
+        });
+    });
+    g.finish();
+}
+
+fn bench_vlog(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vlog");
+    let chunk = sample_chunk(10);
+    let gref = GroupRef::new(StreamId(1), StreamletId(0), GroupId(0));
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("append_and_sync_chunk", |b| {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let selector = BackupSelector::new(NodeId(0), &nodes, SelectionPolicy::RoundRobin, 0);
+        let vlog = VirtualLog::new(VirtualLogId(0), NodeId(0), 1 << 30, 2, selector).unwrap();
+        let channel = MockChannel::new();
+        // Criterion runs millions of iterations; roll physical segments
+        // as they fill (fresh 64 MB arena each time).
+        let seg_cap = 64 << 20;
+        let mut seg = Arc::new(Segment::new(gref, SegmentId(0), seg_cap));
+        b.iter(|| {
+            if !seg.fits(chunk.len()) {
+                seg = Arc::new(Segment::new(gref, SegmentId(0), seg_cap));
+            }
+            let at = seg.append_chunk(&chunk, 0).unwrap();
+            let ticket = vlog
+                .append(ChunkRef {
+                    segment: Arc::clone(&seg),
+                    offset: at.offset,
+                    len: at.len,
+                    checksum: 0,
+                    gref,
+                })
+                .unwrap();
+            vlog.sync(&channel, ticket).unwrap();
+        });
+    });
+    g.finish();
+}
+
+struct Echo;
+impl Service for Echo {
+    fn handle(&self, _ctx: &RequestContext, payload: Bytes) -> kera_common::Result<Bytes> {
+        Ok(payload)
+    }
+}
+
+fn bench_rpc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rpc");
+    g.throughput(Throughput::Elements(1));
+    let net = InMemNetwork::new(NetworkModel::default());
+    let _server = NodeRuntime::start(Arc::new(net.register(NodeId(1))), Arc::new(Echo), 2);
+    let client_rt = NodeRuntime::start(Arc::new(net.register(NodeId(2))), Arc::new(NullService), 1);
+    let client = client_rt.client();
+    for payload_size in [64usize, 1024, 16 * 1024] {
+        let payload = Bytes::from(vec![0u8; payload_size]);
+        g.bench_with_input(
+            BenchmarkId::new("inmem_roundtrip", payload_size),
+            &payload,
+            |b, payload| {
+                b.iter(|| {
+                    client
+                        .call(NodeId(1), OpCode::Ping, payload.clone(), Duration::from_secs(5))
+                        .unwrap()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crc32c,
+    bench_record_codec,
+    bench_chunk_codec,
+    bench_append_buffer,
+    bench_segment_append,
+    bench_vlog,
+    bench_rpc
+);
+criterion_main!(benches);

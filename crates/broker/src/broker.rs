@@ -1,0 +1,296 @@
+//! The broker (ingestion) service: produce and fetch paths (paper §IV-B).
+//!
+//! Produce path, per chunk: identify the stream object and the streamlet's
+//! active group from the producer id; append the chunk to the group's open
+//! segment (physical append, header fields assigned in place); append a
+//! chunk *reference* to the streamlet's virtual log — atomically with the
+//! physical append, under the slot lock. Once all chunks of the request
+//! are appended, the touched virtual logs are synchronized on the backups
+//! and the producer is acknowledged. Integrity note: payload checksums are
+//! producer-computed and verified on the *backups* (and at recovery); the
+//! broker append path stays copy-and-patch only, preserving the paper's
+//! zero-copy claim.
+//!
+//! Fetch path: consumers read whole chunks below the durable head only.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use bytes::Bytes;
+use kera_common::config::StreamConfig;
+use kera_common::ids::{NodeId, StreamId};
+use kera_common::metrics::Counter;
+use kera_common::{KeraError, Result};
+use kera_rpc::{RequestContext, RpcClient, Service};
+use kera_storage::store::StreamStore;
+use kera_vlog::selector::SelectionPolicy;
+use kera_vlog::vseg::ChunkRef;
+use kera_vlog::{ReplicationDriver, VirtualLog, VirtualLogSet};
+use kera_wire::chunk::ChunkIter;
+use kera_wire::frames::OpCode;
+use kera_wire::messages::{
+    FetchRequest, FetchResponse, FetchResult, HostStreamRequest, ProduceRequest,
+    ProduceResponse, ReplicaRole, SeekRequest, SeekResponse,
+};
+
+use crate::channel::RpcBackupChannel;
+
+/// Timeout for one replication round.
+const REPLICATION_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The broker service of one node.
+pub struct BrokerService {
+    node: NodeId,
+    store: StreamStore,
+    vlogs: VirtualLogSet,
+    /// Background replication executor (RAMCloud's ReplicaManager role);
+    /// created when the broker is attached to its runtime.
+    driver: OnceLock<Arc<ReplicationDriver>>,
+    /// Raw RPC handle (stream deletion's backup frees).
+    rpc: OnceLock<RpcClient>,
+    /// How many shipping threads the driver runs.
+    replication_threads: usize,
+    /// Chunks ingested.
+    pub chunks_in: Counter,
+    /// Records ingested.
+    pub records_in: Counter,
+    /// Chunk bytes ingested.
+    pub bytes_in: Counter,
+    /// Fetch requests served.
+    pub fetches: Counter,
+}
+
+impl BrokerService {
+    /// `colocated_backup`: the backup service on this broker's machine
+    /// (never selected — it would die with the broker);
+    /// `cluster_backups`: every backup node in the cluster (virtual logs
+    /// pick per-virtual-segment subsets from it).
+    pub fn new(node: NodeId, colocated_backup: NodeId, cluster_backups: Vec<NodeId>) -> Arc<Self> {
+        Self::with_replication_threads(node, colocated_backup, cluster_backups, 2)
+    }
+
+    /// Like [`BrokerService::new`] with an explicit replication-driver
+    /// thread count.
+    pub fn with_replication_threads(
+        node: NodeId,
+        colocated_backup: NodeId,
+        cluster_backups: Vec<NodeId>,
+        replication_threads: usize,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            node,
+            store: StreamStore::new(),
+            vlogs: VirtualLogSet::new(
+                node,
+                colocated_backup,
+                cluster_backups,
+                SelectionPolicy::RoundRobin,
+            ),
+            driver: OnceLock::new(),
+            rpc: OnceLock::new(),
+            replication_threads,
+            chunks_in: Counter::new(),
+            records_in: Counter::new(),
+            bytes_in: Counter::new(),
+            fetches: Counter::new(),
+        })
+    }
+
+    /// Wires the service to its node runtime's RPC client and starts the
+    /// replication driver (must be called once, right after
+    /// `NodeRuntime::start`).
+    pub fn attach_client(&self, client: RpcClient) {
+        let channel = Arc::new(RpcBackupChannel::new(client.clone(), REPLICATION_TIMEOUT));
+        let _ = self.rpc.set(client);
+        let _ = self
+            .driver
+            .set(ReplicationDriver::start(channel, self.replication_threads));
+    }
+
+    fn driver(&self) -> Result<&Arc<ReplicationDriver>> {
+        self.driver
+            .get()
+            .ok_or_else(|| KeraError::Protocol("broker not attached to its runtime".into()))
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    pub fn store(&self) -> &StreamStore {
+        &self.store
+    }
+
+    pub fn vlogs(&self) -> &VirtualLogSet {
+        &self.vlogs
+    }
+
+    fn handle_host(&self, req: HostStreamRequest) -> Result<()> {
+        let leaders: Vec<_> = req
+            .assignments
+            .iter()
+            .filter(|a| a.role == ReplicaRole::Leader)
+            .map(|a| a.streamlet)
+            .collect();
+        self.store.host(req.metadata, &leaders);
+        Ok(())
+    }
+
+    fn handle_produce(&self, req: ProduceRequest) -> Result<ProduceResponse> {
+        let mut acks = Vec::with_capacity(req.chunk_count as usize);
+        // Touched virtual logs, deduped, with the highest ticket each.
+        let mut pending: Vec<(Arc<VirtualLog>, u64)> = Vec::new();
+
+        for chunk in ChunkIter::new(&req.chunks) {
+            let chunk = chunk?;
+            let h = *chunk.header();
+            if h.record_count == 0 {
+                continue; // empty chunks carry nothing; skip quietly
+            }
+            let hosted = self.store.stream(h.stream)?;
+            let config: StreamConfig = hosted.config().clone();
+            let streamlet = hosted
+                .streamlet(h.streamlet)
+                .ok_or(KeraError::UnknownStreamlet(h.stream, h.streamlet))?;
+
+            if config.replication.factor > 1 {
+                let slot = streamlet.slot_of(h.producer);
+                let vlog = self.vlogs.log_for(&config, h.streamlet, slot)?;
+                let checksum = h.checksum;
+                let (append, ticket) = streamlet.append_chunk_and_then(
+                    h.producer,
+                    chunk.bytes(),
+                    h.record_count,
+                    |a| {
+                        vlog.append(ChunkRef {
+                            segment: Arc::clone(&a.segment),
+                            offset: a.offset_in_segment,
+                            len: a.len,
+                            checksum,
+                            gref: a.gref,
+                        })
+                    },
+                )?;
+                let ticket = ticket?;
+                match pending.iter_mut().find(|(l, _)| Arc::ptr_eq(l, &vlog)) {
+                    Some((_, t)) => *t = (*t).max(ticket),
+                    None => pending.push((vlog, ticket)),
+                }
+                acks.push(append.to_ack());
+            } else {
+                let append =
+                    streamlet.append_chunk(h.producer, chunk.bytes(), h.record_count)?;
+                append.segment.make_all_durable();
+                acks.push(append.to_ack());
+            }
+            self.chunks_in.inc();
+            self.records_in.add(u64::from(h.record_count));
+            self.bytes_in.add(chunk.len() as u64);
+        }
+
+        // Hand every touched virtual log to the replication driver, then
+        // wait for the tickets. The driver ships consolidated batches for
+        // all logs concurrently; this worker only blocks on durability —
+        // "once all chunks of a request are appended, the corresponding
+        // replicated virtual logs are synchronized on backups" (§IV-B).
+        if !pending.is_empty() {
+            let driver = self.driver()?;
+            for (vlog, _) in &pending {
+                driver.enqueue(vlog);
+            }
+            for (vlog, ticket) in &pending {
+                vlog.wait_durable(*ticket, REPLICATION_TIMEOUT)?;
+            }
+        }
+        Ok(ProduceResponse { acks })
+    }
+
+    /// Unhosts a deleted stream: groups close, dedicated virtual logs are
+    /// dropped and their replicated segments freed on every backup.
+    /// Shared-pool logs stay (their space interleaves live streams; the
+    /// paper leaves reclaiming it to log cleaning).
+    fn handle_delete(&self, stream: StreamId) -> Result<()> {
+        self.store.remove(stream);
+        let dropped = self.vlogs.remove_stream(stream);
+        if dropped.is_empty() {
+            return Ok(());
+        }
+        // Free replicated segments on every backup (idempotent; dead
+        // backups are skipped; fire-and-forget).
+        if let Some(rpc) = self.rpc.get() {
+            for vlog in dropped {
+                let mut w = kera_wire::codec::Writer::new();
+                w.u32(self.node.raw()).u32(vlog.id().raw());
+                let payload = w.finish();
+                for &backup in self.vlogs.cluster_backups() {
+                    let _ = rpc.call_async(backup, OpCode::BackupFree, payload.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_fetch(&self, req: FetchRequest) -> Result<FetchResponse> {
+        let mut results = Vec::with_capacity(req.entries.len());
+        for e in &req.entries {
+            let (data, cursor) = self.store.read_slot(
+                e.stream,
+                e.streamlet,
+                e.slot,
+                e.cursor,
+                e.max_bytes as usize,
+            )?;
+            results.push(FetchResult {
+                stream: e.stream,
+                streamlet: e.streamlet,
+                slot: e.slot,
+                cursor,
+                data: Bytes::from(data),
+            });
+        }
+        self.fetches.inc();
+        Ok(FetchResponse { results })
+    }
+}
+
+impl Service for BrokerService {
+    fn handle(&self, ctx: &RequestContext, payload: Bytes) -> Result<Bytes> {
+        match ctx.opcode {
+            OpCode::Ping => Ok(Bytes::new()),
+            OpCode::HostStream => {
+                let req = HostStreamRequest::decode(&payload)?;
+                self.handle_host(req)?;
+                Ok(Bytes::new())
+            }
+            // Recovery re-ingestion is "handled as a normal producer
+            // request" (paper §IV-B).
+            OpCode::Produce | OpCode::RecoveryIngest => {
+                let req = ProduceRequest::decode(&payload)?;
+                Ok(self.handle_produce(req)?.encode())
+            }
+            OpCode::Fetch => {
+                let req = FetchRequest::decode(&payload)?;
+                Ok(self.handle_fetch(req)?.encode())
+            }
+            OpCode::Seek => {
+                let req = SeekRequest::decode(&payload)?;
+                let streamlet = self.store.streamlet(req.stream, req.streamlet)?;
+                let resp = match streamlet.seek(req.slot, req.record_offset) {
+                    Some(cursor) => SeekResponse { found: true, cursor },
+                    None => SeekResponse {
+                        found: false,
+                        cursor: kera_wire::cursor::SlotCursor::START,
+                    },
+                };
+                Ok(resp.encode())
+            }
+            OpCode::DeleteStream => {
+                let stream =
+                    StreamId(kera_wire::codec::Reader::new(&payload).u32()?);
+                self.handle_delete(stream)?;
+                Ok(Bytes::new())
+            }
+            other => Err(KeraError::Protocol(format!("broker cannot serve {other:?}"))),
+        }
+    }
+}

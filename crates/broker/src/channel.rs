@@ -1,0 +1,52 @@
+//! The real replication channel: one `BackupWrite` RPC per backup, fanned
+//! out in parallel ("it also sends (replicates) the chunk in parallel to
+//! the backups", paper §II-B).
+
+use std::time::Duration;
+
+use kera_common::ids::NodeId;
+use kera_common::{KeraError, Result};
+use kera_rpc::RpcClient;
+use kera_vlog::channel::BackupChannel;
+use kera_wire::frames::OpCode;
+use kera_wire::messages::{BackupWriteRequest, BackupWriteResponse};
+
+/// Ships replication batches over the RPC fabric.
+pub struct RpcBackupChannel {
+    client: RpcClient,
+    timeout: Duration,
+}
+
+impl RpcBackupChannel {
+    pub fn new(client: RpcClient, timeout: Duration) -> Self {
+        Self { client, timeout }
+    }
+}
+
+impl BackupChannel for RpcBackupChannel {
+    fn replicate(
+        &self,
+        backups: &[NodeId],
+        req: &BackupWriteRequest,
+    ) -> Result<BackupWriteResponse> {
+        // Encode once; the payload Bytes is shared by all fan-out sends.
+        let payload = req.encode();
+        let calls: Vec<_> = backups
+            .iter()
+            .map(|&b| (b, self.client.call_async(b, OpCode::BackupWrite, payload.clone())))
+            .collect();
+        let mut last = BackupWriteResponse { durable_offset: 0 };
+        for (backup, call) in calls {
+            let resp = call.wait(self.timeout).map_err(|e| match e {
+                // Normalize failures to Disconnected(backup) so the
+                // virtual log can re-replicate around the dead node.
+                KeraError::Disconnected(_) | KeraError::Timeout { .. } => {
+                    KeraError::Disconnected(backup)
+                }
+                other => other,
+            })?;
+            last = BackupWriteResponse::decode(&resp)?;
+        }
+        Ok(last)
+    }
+}

@@ -1,0 +1,487 @@
+//! In-process cluster assembly.
+//!
+//! Mirrors the paper's deployment (§V-A): on each of `B` server nodes
+//! live one broker service and one backup service; a single coordinator
+//! manages them. Clients register as extra nodes on the same fabric.
+
+use std::sync::Arc;
+
+use kera_common::config::{ClusterConfig, TransportChoice};
+use kera_common::ids::NodeId;
+use kera_common::Result;
+use kera_rpc::network::TransportKind;
+use kera_rpc::{AnyNetwork, NodeRuntime, NullService};
+use kera_storage::flush::DiskFlusher;
+
+use crate::backup::BackupService;
+use crate::broker::BrokerService;
+use crate::coordinator::CoordinatorService;
+
+/// The coordinator's node id.
+pub const COORDINATOR: NodeId = NodeId(0);
+
+/// Node id of broker `i`.
+pub const fn broker_node(i: u32) -> NodeId {
+    NodeId(1 + i)
+}
+
+/// Node id of backup `i` (co-located with broker `i`).
+pub const fn backup_node(i: u32) -> NodeId {
+    NodeId(1001 + i)
+}
+
+/// Node id of client `i`.
+pub const fn client_node(i: u32) -> NodeId {
+    NodeId(2001 + i)
+}
+
+/// A running in-process KerA cluster.
+pub struct KeraCluster {
+    pub net: AnyNetwork,
+    config: ClusterConfig,
+    coordinator_rt: Option<NodeRuntime>,
+    broker_rts: Vec<Option<NodeRuntime>>,
+    backup_rts: Vec<Option<NodeRuntime>>,
+    pub coordinator_svc: Arc<CoordinatorService>,
+    pub broker_svcs: Vec<Arc<BrokerService>>,
+    pub backup_svcs: Vec<Arc<BackupService>>,
+}
+
+impl KeraCluster {
+    /// Boots coordinator, brokers and backups.
+    pub fn start(config: ClusterConfig) -> Result<KeraCluster> {
+        config.validate()?;
+        let kind = match config.transport {
+            TransportChoice::InMemory => TransportKind::InMemory,
+            TransportChoice::Tcp => TransportKind::Tcp,
+        };
+        let net = AnyNetwork::new(kind, config.network);
+        let b = config.brokers;
+        let broker_ids: Vec<NodeId> = (0..b).map(broker_node).collect();
+        let backup_ids: Vec<NodeId> = (0..b).map(backup_node).collect();
+
+        // Backups first (brokers replicate into them).
+        let mut backup_svcs = Vec::with_capacity(b as usize);
+        let mut backup_rts = Vec::with_capacity(b as usize);
+        for i in 0..b {
+            let flusher = match &config.flush_dir {
+                Some(dir) => Some(DiskFlusher::start(dir.join(format!("backup-{i}")))?),
+                None => None,
+            };
+            let svc = BackupService::with_io_cost(backup_node(i), flusher, config.io_cost_ns);
+            let rt = NodeRuntime::start(
+                net.register(backup_node(i))?,
+                Arc::clone(&svc) as Arc<dyn kera_rpc::Service>,
+                config.worker_threads,
+            );
+            backup_svcs.push(svc);
+            backup_rts.push(Some(rt));
+        }
+
+        // Brokers.
+        let mut broker_svcs = Vec::with_capacity(b as usize);
+        let mut broker_rts = Vec::with_capacity(b as usize);
+        for i in 0..b {
+            let svc = BrokerService::new(broker_node(i), backup_node(i), backup_ids.clone());
+            let rt = NodeRuntime::start(
+                net.register(broker_node(i))?,
+                Arc::clone(&svc) as Arc<dyn kera_rpc::Service>,
+                config.worker_threads,
+            );
+            svc.attach_client(rt.client());
+            broker_svcs.push(svc);
+            broker_rts.push(Some(rt));
+        }
+
+        // Coordinator.
+        let coordinator_svc = CoordinatorService::new(COORDINATOR, broker_ids);
+        let coordinator_rt = NodeRuntime::start(
+            net.register(COORDINATOR)?,
+            Arc::clone(&coordinator_svc) as Arc<dyn kera_rpc::Service>,
+            2,
+        );
+        coordinator_svc.attach_client(coordinator_rt.client());
+
+        Ok(KeraCluster {
+            net,
+            config,
+            coordinator_rt: Some(coordinator_rt),
+            broker_rts,
+            backup_rts,
+            coordinator_svc,
+            broker_svcs,
+            backup_svcs,
+        })
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    pub fn coordinator(&self) -> NodeId {
+        COORDINATOR
+    }
+
+    pub fn broker_count(&self) -> u32 {
+        self.config.brokers
+    }
+
+    pub fn brokers(&self) -> Vec<NodeId> {
+        (0..self.config.brokers).map(broker_node).collect()
+    }
+
+    pub fn backups(&self) -> Vec<NodeId> {
+        (0..self.config.brokers).map(backup_node).collect()
+    }
+
+    /// Registers a pure client node on the fabric (producers, consumers,
+    /// the recovery manager, test drivers).
+    pub fn client(&self, i: u32) -> NodeRuntime {
+        NodeRuntime::start(
+            self.net.register(client_node(i)).expect("register client node"),
+            Arc::new(NullService),
+            1,
+        )
+    }
+
+    /// Kills server `i`: both its broker and its co-located backup vanish
+    /// from the network, exactly like a machine crash. Requires the
+    /// in-memory fabric (TCP does not support surgical crashes).
+    pub fn crash_server(&mut self, i: u32) {
+        assert!(
+            self.net.crash(broker_node(i)),
+            "crash_server requires TransportChoice::InMemory"
+        );
+        self.net.crash(backup_node(i));
+        // Join the dead runtimes (their dispatch loops observe the closed
+        // inboxes and exit).
+        if let Some(rt) = self.broker_rts.get_mut(i as usize).and_then(Option::take) {
+            rt.shutdown();
+        }
+        if let Some(rt) = self.backup_rts.get_mut(i as usize).and_then(Option::take) {
+            rt.shutdown();
+        }
+    }
+
+    /// Orderly shutdown of every node.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(rt) = self.coordinator_rt.take() {
+            rt.shutdown();
+        }
+        for rt in self.broker_rts.iter_mut().filter_map(Option::take) {
+            rt.shutdown();
+        }
+        for rt in self.backup_rts.iter_mut().filter_map(Option::take) {
+            rt.shutdown();
+        }
+    }
+}
+
+impl Drop for KeraCluster {
+    fn drop(&mut self) {
+        // Idempotent: a cluster dropped on an error path still joins all
+        // of its threads.
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use kera_common::config::{ReplicationConfig, StreamConfig, VirtualLogPolicy};
+    use kera_common::ids::{ProducerId, StreamId, StreamletId};
+    use kera_wire::chunk::{ChunkBuilder, ChunkIter};
+    use kera_wire::cursor::SlotCursor;
+    use kera_wire::frames::OpCode;
+    use kera_wire::messages::*;
+    use kera_wire::record::Record;
+    use std::time::Duration;
+
+    const T: Duration = Duration::from_secs(5);
+
+    fn stream_config(id: u32, streamlets: u32, factor: u32) -> StreamConfig {
+        StreamConfig {
+            id: StreamId(id),
+            streamlets,
+            active_groups: 1,
+            segments_per_group: 4,
+            segment_size: 1 << 16,
+            replication: ReplicationConfig {
+                factor,
+                policy: VirtualLogPolicy::SharedPerBroker(2),
+                vseg_size: 1 << 16,
+            },
+        }
+    }
+
+    fn make_chunk(producer: u32, stream: u32, streamlet: u32, records: u32) -> Bytes {
+        let mut b = ChunkBuilder::new(
+            8192,
+            ProducerId(producer),
+            StreamId(stream),
+            StreamletId(streamlet),
+        );
+        for i in 0..records {
+            b.append(&Record::value_only(&[i as u8; 100]));
+        }
+        b.seal()
+    }
+
+    fn produce(
+        client: &kera_rpc::RpcClient,
+        broker: NodeId,
+        producer: u32,
+        chunks: &[Bytes],
+    ) -> ProduceResponse {
+        let mut body = Vec::new();
+        for c in chunks {
+            body.extend_from_slice(c);
+        }
+        let req = ProduceRequest {
+            producer: ProducerId(producer),
+            recovery: false,
+            chunk_count: chunks.len() as u32,
+            chunks: Bytes::from(body),
+        };
+        let resp = client.call(broker, OpCode::Produce, req.encode(), T).unwrap();
+        ProduceResponse::decode(&resp).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_produce_fetch_r3() {
+        let mut cfg = ClusterConfig::default();
+        cfg.brokers = 4;
+        cfg.worker_threads = 2;
+        let cluster = KeraCluster::start(cfg).unwrap();
+        let client_rt = cluster.client(0);
+        let client = client_rt.client();
+
+        // Create a 4-streamlet stream, R3.
+        let sc = stream_config(1, 4, 3);
+        let md_bytes = client
+            .call(
+                COORDINATOR,
+                OpCode::CreateStream,
+                CreateStreamRequest { config: sc.clone() }.encode(),
+                T,
+            )
+            .unwrap();
+        let md = StreamMetadata::decode(&md_bytes).unwrap();
+        assert_eq!(md.placements.len(), 4);
+        // Streamlets spread over all 4 brokers.
+        assert_eq!(md.brokers().len(), 4);
+
+        // Produce 3 chunks to streamlet 0's broker.
+        let broker = md.broker_of(StreamletId(0)).unwrap();
+        let chunks: Vec<Bytes> = (0..3).map(|_| make_chunk(7, 1, 0, 5)).collect();
+        let resp = produce(&client, broker, 7, &chunks);
+        assert_eq!(resp.acks.len(), 3);
+        assert_eq!(resp.acks[0].base_offset, 0);
+        assert_eq!(resp.acks[1].base_offset, 5);
+        assert_eq!(resp.acks[2].base_offset, 10);
+
+        // Data is on 2 backups (R3 = leader + 2 copies).
+        let total_backup_bytes: usize =
+            cluster.backup_svcs.iter().map(|b| b.bytes_held()).sum();
+        let chunk_bytes: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total_backup_bytes, chunk_bytes * 2);
+
+        // Fetch it back (producer 7 -> slot 0 since Q=1).
+        let freq = FetchRequest {
+            consumer: kera_common::ids::ConsumerId(1),
+            entries: vec![FetchEntry {
+                stream: StreamId(1),
+                streamlet: StreamletId(0),
+                slot: 0,
+                cursor: SlotCursor::START,
+                max_bytes: 1 << 20,
+            }],
+        };
+        let fresp = FetchResponse::decode(
+            &client.call(broker, OpCode::Fetch, freq.encode(), T).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(fresp.results.len(), 1);
+        let data = &fresp.results[0].data;
+        let got: Vec<_> = ChunkIter::new(data).collect::<Result<_>>().unwrap();
+        assert_eq!(got.len(), 3);
+        let mut records = 0;
+        for c in &got {
+            c.verify().unwrap();
+            records += c.records().count();
+        }
+        assert_eq!(records, 15);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn r1_skips_backups_entirely() {
+        let mut cfg = ClusterConfig::default();
+        cfg.brokers = 2;
+        cfg.worker_threads = 2;
+        let cluster = KeraCluster::start(cfg).unwrap();
+        let client_rt = cluster.client(0);
+        let client = client_rt.client();
+
+        let sc = stream_config(1, 1, 1);
+        let md = StreamMetadata::decode(
+            &client
+                .call(
+                    COORDINATOR,
+                    OpCode::CreateStream,
+                    CreateStreamRequest { config: sc }.encode(),
+                    T,
+                )
+                .unwrap(),
+        )
+        .unwrap();
+        let broker = md.broker_of(StreamletId(0)).unwrap();
+        produce(&client, broker, 0, &[make_chunk(0, 1, 0, 2)]);
+        assert_eq!(cluster.backup_svcs.iter().map(|b| b.bytes_held()).sum::<usize>(), 0);
+
+        // Data is immediately fetchable (durable head == head at R1).
+        let freq = FetchRequest {
+            consumer: kera_common::ids::ConsumerId(0),
+            entries: vec![FetchEntry {
+                stream: StreamId(1),
+                streamlet: StreamletId(0),
+                slot: 0,
+                cursor: SlotCursor::START,
+                max_bytes: 1 << 20,
+            }],
+        };
+        let fresp = FetchResponse::decode(
+            &client.call(broker, OpCode::Fetch, freq.encode(), T).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(ChunkIter::new(&fresp.results[0].data).count(), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn unknown_stream_errors_propagate() {
+        let mut cfg = ClusterConfig::default();
+        cfg.brokers = 1;
+        let cluster = KeraCluster::start(cfg).unwrap();
+        let client_rt = cluster.client(0);
+        let client = client_rt.client();
+
+        let err = client
+            .call(
+                COORDINATOR,
+                OpCode::GetMetadata,
+                GetMetadataRequest { stream: StreamId(42) }.encode(),
+                T,
+            )
+            .unwrap_err();
+        assert!(matches!(err, kera_common::KeraError::Protocol(_)));
+
+        let chunk = make_chunk(0, 42, 0, 1);
+        let req = ProduceRequest {
+            producer: ProducerId(0),
+            recovery: false,
+            chunk_count: 1,
+            chunks: chunk,
+        };
+        let err = client
+            .call(broker_node(0), OpCode::Produce, req.encode(), T)
+            .unwrap_err();
+        assert!(matches!(err, kera_common::KeraError::Protocol(_)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn duplicate_stream_creation_fails() {
+        let mut cfg = ClusterConfig::default();
+        cfg.brokers = 2;
+        let cluster = KeraCluster::start(cfg).unwrap();
+        let client_rt = cluster.client(0);
+        let client = client_rt.client();
+        let sc = stream_config(5, 2, 1);
+        client
+            .call(
+                COORDINATOR,
+                OpCode::CreateStream,
+                CreateStreamRequest { config: sc.clone() }.encode(),
+                T,
+            )
+            .unwrap();
+        let err = client
+            .call(
+                COORDINATOR,
+                OpCode::CreateStream,
+                CreateStreamRequest { config: sc }.encode(),
+                T,
+            )
+            .unwrap_err();
+        assert!(matches!(err, kera_common::KeraError::Protocol(_)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn consumers_never_see_unreplicated_data() {
+        // With R3 but all backups crashed, producing fails and consumers
+        // see nothing.
+        let mut cfg = ClusterConfig::default();
+        cfg.brokers = 3;
+        cfg.worker_threads = 2;
+        let mut cluster = KeraCluster::start(cfg).unwrap();
+        let client_rt = cluster.client(0);
+        let client = client_rt.client();
+
+        let sc = stream_config(1, 1, 3);
+        let md = StreamMetadata::decode(
+            &client
+                .call(
+                    COORDINATOR,
+                    OpCode::CreateStream,
+                    CreateStreamRequest { config: sc }.encode(),
+                    T,
+                )
+                .unwrap(),
+        )
+        .unwrap();
+        let broker = md.broker_of(StreamletId(0)).unwrap();
+        // Crash the two servers that are NOT the leader: their backups go
+        // with them, leaving zero backup candidates.
+        for i in 0..3 {
+            if broker_node(i) != broker {
+                cluster.crash_server(i);
+            }
+        }
+        let chunk = make_chunk(0, 1, 0, 4);
+        let req = ProduceRequest {
+            producer: ProducerId(0),
+            recovery: false,
+            chunk_count: 1,
+            chunks: chunk,
+        };
+        let err = client.call(broker, OpCode::Produce, req.encode(), T).unwrap_err();
+        assert!(matches!(err, kera_common::KeraError::NoCapacity(_)), "got {err}");
+
+        // The appended-but-unreplicated chunk must be invisible.
+        let freq = FetchRequest {
+            consumer: kera_common::ids::ConsumerId(0),
+            entries: vec![FetchEntry {
+                stream: StreamId(1),
+                streamlet: StreamletId(0),
+                slot: 0,
+                cursor: SlotCursor::START,
+                max_bytes: 1 << 20,
+            }],
+        };
+        let fresp = FetchResponse::decode(
+            &client.call(broker, OpCode::Fetch, freq.encode(), T).unwrap(),
+        )
+        .unwrap();
+        assert!(fresp.results[0].data.is_empty());
+        cluster.shutdown();
+    }
+
+    use kera_common::Result;
+}

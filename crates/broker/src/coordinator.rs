@@ -1,0 +1,228 @@
+//! The coordinator: cluster membership, stream creation and placement,
+//! metadata service, crash-time reassignment (paper Fig. 1: "the
+//! coordinator manages storage nodes on which live broker and backup
+//! processes").
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use bytes::Bytes;
+use kera_common::ids::{NodeId, StreamId};
+use kera_common::{KeraError, Result};
+use kera_rpc::{RequestContext, RpcClient, Service};
+use kera_wire::frames::OpCode;
+use kera_wire::messages::{
+    CrashReassignmentResponse, CreateStreamRequest, GetMetadataRequest, HostAssignment,
+    HostStreamRequest, Reassignment, ReplicaRole, ReportCrashRequest, StreamMetadata,
+    StreamletPlacement,
+};
+use kera_wire::codec::{Reader, Writer};
+use parking_lot::Mutex;
+
+const HOST_TIMEOUT: Duration = Duration::from_secs(5);
+
+struct CoordinatorState {
+    brokers: Vec<NodeId>,
+    dead: HashSet<NodeId>,
+    streams: HashMap<StreamId, StreamMetadata>,
+}
+
+/// The coordinator service.
+pub struct CoordinatorService {
+    node: NodeId,
+    state: Mutex<CoordinatorState>,
+    client: OnceLock<RpcClient>,
+}
+
+impl CoordinatorService {
+    pub fn new(node: NodeId, brokers: Vec<NodeId>) -> Arc<Self> {
+        Arc::new(Self {
+            node,
+            state: Mutex::new(CoordinatorState {
+                brokers,
+                dead: HashSet::new(),
+                streams: HashMap::new(),
+            }),
+            client: OnceLock::new(),
+        })
+    }
+
+    pub fn attach_client(&self, client: RpcClient) {
+        let _ = self.client.set(client);
+    }
+
+    fn client(&self) -> Result<&RpcClient> {
+        self.client
+            .get()
+            .ok_or_else(|| KeraError::Protocol("coordinator not attached to its runtime".into()))
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Brokers currently believed alive, in registration order.
+    fn alive_brokers(state: &CoordinatorState) -> Vec<NodeId> {
+        state.brokers.iter().copied().filter(|b| !state.dead.contains(b)).collect()
+    }
+
+    fn handle_create(&self, req: CreateStreamRequest) -> Result<StreamMetadata> {
+        req.config.validate()?;
+        let metadata = {
+            let mut st = self.state.lock();
+            if st.streams.contains_key(&req.config.id) {
+                return Err(KeraError::StreamExists(req.config.id));
+            }
+            let alive = Self::alive_brokers(&st);
+            if alive.is_empty() {
+                return Err(KeraError::NoCapacity("no alive brokers".into()));
+            }
+            // Streamlet i -> broker i mod B: equal distribution, the
+            // paper's "streams equally distributed over four brokers".
+            let placements: Vec<StreamletPlacement> = (0..req.config.streamlets)
+                .map(|i| StreamletPlacement {
+                    streamlet: kera_common::ids::StreamletId(i),
+                    broker: alive[i as usize % alive.len()],
+                })
+                .collect();
+            let metadata = StreamMetadata { config: req.config.clone(), placements };
+            st.streams.insert(req.config.id, metadata.clone());
+            metadata
+        };
+        self.push_hosting(&metadata, None)?;
+        Ok(metadata)
+    }
+
+    /// Sends HostStream to every broker owning streamlets of `metadata`.
+    /// With `only` set, restricts to that broker (recovery path).
+    fn push_hosting(&self, metadata: &StreamMetadata, only: Option<NodeId>) -> Result<()> {
+        let mut per_broker: HashMap<NodeId, Vec<HostAssignment>> = HashMap::new();
+        for p in &metadata.placements {
+            if only.map(|b| b != p.broker).unwrap_or(false) {
+                continue;
+            }
+            per_broker.entry(p.broker).or_default().push(HostAssignment {
+                streamlet: p.streamlet,
+                role: ReplicaRole::Leader,
+                leader: p.broker,
+            });
+        }
+        let client = self.client()?;
+        let calls: Vec<_> = per_broker
+            .into_iter()
+            .map(|(broker, assignments)| {
+                let req =
+                    HostStreamRequest { metadata: metadata.clone(), assignments };
+                client.call_async(broker, OpCode::HostStream, req.encode())
+            })
+            .collect();
+        for c in calls {
+            c.wait(HOST_TIMEOUT)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes a stream: drops the metadata and tells every broker that
+    /// hosted its streamlets to unhost them (freeing dedicated virtual
+    /// logs and their backup segments).
+    fn handle_delete(&self, stream: StreamId) -> Result<()> {
+        let metadata = self
+            .state
+            .lock()
+            .streams
+            .remove(&stream)
+            .ok_or(KeraError::UnknownStream(stream))?;
+        let client = self.client()?;
+        let mut payload_w = Writer::new();
+        payload_w.u32(stream.raw());
+        let payload = payload_w.finish();
+        let calls: Vec<_> = metadata
+            .brokers()
+            .into_iter()
+            .map(|b| client.call_async(b, OpCode::DeleteStream, payload.clone()))
+            .collect();
+        for c in calls {
+            c.wait(HOST_TIMEOUT)?;
+        }
+        Ok(())
+    }
+
+    fn handle_metadata(&self, req: GetMetadataRequest) -> Result<StreamMetadata> {
+        self.state
+            .lock()
+            .streams
+            .get(&req.stream)
+            .cloned()
+            .ok_or(KeraError::UnknownStream(req.stream))
+    }
+
+    /// Marks `dead` crashed and reassigns its streamlets to survivors.
+    /// Returns the reassignments; the caller (recovery manager) replays
+    /// the data from backups afterwards.
+    fn handle_crash(&self, req: ReportCrashRequest) -> Result<CrashReassignmentResponse> {
+        let (reassigned, metas) = {
+            let mut st = self.state.lock();
+            st.dead.insert(req.node);
+            let alive = Self::alive_brokers(&st);
+            if alive.is_empty() {
+                return Err(KeraError::NoCapacity("no alive brokers left".into()));
+            }
+            let mut reassigned = Vec::new();
+            let mut metas: Vec<StreamMetadata> = Vec::new();
+            let mut rr = 0usize;
+            for meta in st.streams.values_mut() {
+                let mut touched = false;
+                for p in meta.placements.iter_mut() {
+                    if p.broker == req.node {
+                        p.broker = alive[rr % alive.len()];
+                        rr += 1;
+                        touched = true;
+                        reassigned.push(Reassignment {
+                            stream: meta.config.id,
+                            streamlet: p.streamlet,
+                            new_broker: p.broker,
+                        });
+                    }
+                }
+                if touched {
+                    metas.push(meta.clone());
+                }
+            }
+            (reassigned, metas)
+        };
+        // Tell the new owners to host their inherited streamlets.
+        for meta in &metas {
+            for broker in meta.brokers() {
+                self.push_hosting(meta, Some(broker))?;
+            }
+        }
+        Ok(CrashReassignmentResponse { reassignments: reassigned })
+    }
+}
+
+impl Service for CoordinatorService {
+    fn handle(&self, ctx: &RequestContext, payload: Bytes) -> Result<Bytes> {
+        match ctx.opcode {
+            OpCode::Ping => Ok(Bytes::new()),
+            OpCode::CreateStream => {
+                let req = CreateStreamRequest::decode(&payload)?;
+                Ok(self.handle_create(req)?.encode())
+            }
+            OpCode::GetMetadata => {
+                let req = GetMetadataRequest::decode(&payload)?;
+                Ok(self.handle_metadata(req)?.encode())
+            }
+            OpCode::ReportCrash => {
+                let req = ReportCrashRequest::decode(&payload)?;
+                Ok(self.handle_crash(req)?.encode())
+            }
+            OpCode::DeleteStream => {
+                let stream = StreamId(Reader::new(&payload).u32()?);
+                self.handle_delete(stream)?;
+                Ok(Bytes::new())
+            }
+            other => Err(KeraError::Protocol(format!("coordinator cannot serve {other:?}"))),
+        }
+    }
+}

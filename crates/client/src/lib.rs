@@ -1,0 +1,25 @@
+//! Producer and consumer client stacks (paper Figs. 6–7).
+//!
+//! Both clients follow the paper's two-thread architecture:
+//!
+//! - the **producer** appends records into per-streamlet chunk buffers on
+//!   the caller's thread (the *Source* thread) while a *Requests* thread
+//!   batches sealed chunks into one request per broker and pushes them
+//!   over parallel synchronous RPCs;
+//! - the **consumer**'s *Requests* thread pulls one chunk per streamlet
+//!   slot per broker request into a bounded chunk cache, while the caller
+//!   (the *Source* thread) iterates records out of cached chunks.
+//!
+//! The same clients drive both the KerA cluster and the Kafka-style
+//! baseline — they speak the shared wire protocol and only see streams,
+//! partitions and chunks.
+
+pub mod consumer;
+pub mod metadata;
+pub mod partitioner;
+pub mod producer;
+
+pub use consumer::{Consumer, ConsumerConfig};
+pub use metadata::MetadataClient;
+pub use partitioner::Partitioner;
+pub use producer::{Producer, ProducerConfig};

@@ -1,0 +1,86 @@
+//! Stream metadata lookup and caching.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use kera_common::config::StreamConfig;
+use kera_common::ids::{NodeId, StreamId};
+use kera_common::Result;
+use kera_rpc::RpcClient;
+use kera_wire::frames::OpCode;
+use kera_wire::messages::{CreateStreamRequest, GetMetadataRequest, StreamMetadata};
+use parking_lot::RwLock;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Talks to the coordinator and caches stream metadata.
+pub struct MetadataClient {
+    rpc: RpcClient,
+    coordinator: NodeId,
+    cache: RwLock<HashMap<StreamId, StreamMetadata>>,
+}
+
+impl MetadataClient {
+    pub fn new(rpc: RpcClient, coordinator: NodeId) -> Self {
+        Self { rpc, coordinator, cache: RwLock::new(HashMap::new()) }
+    }
+
+    pub fn rpc(&self) -> &RpcClient {
+        &self.rpc
+    }
+
+    /// Creates a stream and caches its metadata.
+    pub fn create_stream(&self, config: StreamConfig) -> Result<StreamMetadata> {
+        let resp = self.rpc.call(
+            self.coordinator,
+            OpCode::CreateStream,
+            CreateStreamRequest { config }.encode(),
+            TIMEOUT,
+        )?;
+        let md = StreamMetadata::decode(&resp)?;
+        self.cache.write().insert(md.config.id, md.clone());
+        Ok(md)
+    }
+
+    /// Returns (possibly cached) metadata for `stream`.
+    pub fn metadata(&self, stream: StreamId) -> Result<StreamMetadata> {
+        if let Some(md) = self.cache.read().get(&stream) {
+            return Ok(md.clone());
+        }
+        self.refresh(stream)
+    }
+
+    /// Bypasses the cache (after an error suggesting stale placement).
+    pub fn refresh(&self, stream: StreamId) -> Result<StreamMetadata> {
+        let resp = self.rpc.call(
+            self.coordinator,
+            OpCode::GetMetadata,
+            GetMetadataRequest { stream }.encode(),
+            TIMEOUT,
+        )?;
+        let md = StreamMetadata::decode(&resp)?;
+        self.cache.write().insert(stream, md.clone());
+        Ok(md)
+    }
+
+    /// Deletes a stream cluster-wide (dedicated virtual logs and their
+    /// replicated backup segments are freed; see the broker's
+    /// `handle_delete` for the shared-pool caveat).
+    pub fn delete_stream(&self, stream: StreamId) -> Result<()> {
+        let mut w = kera_wire::codec::Writer::new();
+        w.u32(stream.raw());
+        self.rpc.call(
+            self.coordinator,
+            kera_wire::frames::OpCode::DeleteStream,
+            w.finish(),
+            TIMEOUT,
+        )?;
+        self.cache.write().remove(&stream);
+        Ok(())
+    }
+
+    /// Drops a cache entry (e.g. after a broker error).
+    pub fn invalidate(&self, stream: StreamId) {
+        self.cache.write().remove(&stream);
+    }
+}

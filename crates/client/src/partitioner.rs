@@ -1,0 +1,84 @@
+//! Record-to-streamlet partitioning strategies (paper §IV-B: "according
+//! to the partitioning strategy (round-robin or by record's key, which is
+//! hashed to identify a streamlet)").
+
+use kera_common::ids::StreamletId;
+
+/// How a producer spreads records over a stream's streamlets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Cycle through streamlets record by record (the paper's evaluation
+    /// uses non-keyed records, i.e. this strategy).
+    RoundRobin,
+    /// Hash the record key onto a streamlet (keyed streams).
+    ByKey,
+}
+
+impl Partitioner {
+    /// Picks the streamlet for the next record. `counter` is a per-stream
+    /// monotonically increasing record count maintained by the producer;
+    /// `key` is the record's first key, if any.
+    pub fn pick(&self, streamlets: u32, counter: u64, key: Option<&[u8]>) -> StreamletId {
+        debug_assert!(streamlets > 0);
+        match self {
+            Partitioner::RoundRobin => StreamletId((counter % u64::from(streamlets)) as u32),
+            Partitioner::ByKey => {
+                let h = match key {
+                    Some(k) => fnv1a(k),
+                    None => counter, // keyless records degrade to RR
+                };
+                StreamletId((h % u64::from(streamlets)) as u32)
+            }
+        }
+    }
+}
+
+/// FNV-1a — cheap, stable hash for key partitioning.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn round_robin_cycles() {
+        let p = Partitioner::RoundRobin;
+        let picks: Vec<u32> = (0..8).map(|i| p.pick(4, i, None).raw()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn by_key_is_deterministic_and_spread() {
+        let p = Partitioner::ByKey;
+        let a = p.pick(8, 0, Some(b"user-1"));
+        let b = p.pick(8, 99, Some(b"user-1"));
+        assert_eq!(a, b, "same key must map to same streamlet");
+        let distinct: HashSet<_> =
+            (0..100u32).map(|i| p.pick(8, 0, Some(format!("k{i}").as_bytes()))).collect();
+        assert!(distinct.len() >= 6, "keys should spread: {distinct:?}");
+    }
+
+    #[test]
+    fn by_key_without_key_falls_back_to_counter() {
+        let p = Partitioner::ByKey;
+        let picks: Vec<u32> = (0..4).map(|i| p.pick(4, i, None).raw()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_streamlet_always_zero() {
+        for p in [Partitioner::RoundRobin, Partitioner::ByKey] {
+            for i in 0..10 {
+                assert_eq!(p.pick(1, i, Some(b"x")).raw(), 0);
+            }
+        }
+    }
+}

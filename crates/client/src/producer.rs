@@ -1,0 +1,536 @@
+//! The producer client (paper Fig. 6).
+//!
+//! "Each producer implements two threads that communicate through shared
+//! memory": the *Source* thread (the caller of [`Producer::send`])
+//! appends records to per-streamlet chunk buffers; the *Requests* thread
+//! gathers filled chunks — or chunks older than the linger timeout — into
+//! one request per broker and pushes them over parallel synchronous RPCs.
+//! Sealed chunks flow through a bounded queue, so a fast source is
+//! back-pressured by the cluster exactly like a fixed chunk pool would.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, Sender};
+use kera_common::ids::{NodeId, ProducerId, StreamId};
+use kera_common::metrics::{Counter, LatencyHistogram, ThroughputMeter};
+use kera_common::{KeraError, Result};
+use kera_rpc::RpcClient;
+use kera_wire::chunk::ChunkBuilder;
+use kera_wire::frames::OpCode;
+use kera_wire::messages::{ProduceRequest, ProduceResponse, StreamMetadata};
+use kera_wire::record::Record;
+use parking_lot::{Mutex, RwLock};
+
+use crate::metadata::MetadataClient;
+use crate::partitioner::Partitioner;
+
+/// Producer configuration (the knobs of §V-A).
+#[derive(Clone, Debug)]
+pub struct ProducerConfig {
+    pub id: ProducerId,
+    /// Chunk capacity in bytes (header included).
+    pub chunk_size: usize,
+    /// Maximum bytes of chunks per broker request.
+    pub request_max_bytes: usize,
+    /// `linger.ms`: how long a non-full chunk may wait before being sent.
+    pub linger: Duration,
+    pub call_timeout: Duration,
+    pub partitioner: Partitioner,
+    /// Bound of the sealed-chunk queue (backpressure depth).
+    pub queue_capacity: usize,
+    /// Produce retries before giving up on a request.
+    pub max_retries: u32,
+    /// Outstanding requests per broker ("the number of parallel producer
+    /// requests", paper §II-B). 1 = one synchronous request per broker,
+    /// the paper's evaluation setting.
+    pub pipeline: usize,
+}
+
+impl Default for ProducerConfig {
+    fn default() -> Self {
+        Self {
+            id: ProducerId(0),
+            chunk_size: 16 * 1024,
+            request_max_bytes: 1 << 20,
+            linger: Duration::from_millis(1),
+            call_timeout: Duration::from_secs(10),
+            partitioner: Partitioner::RoundRobin,
+            queue_capacity: 1000,
+            max_retries: 3,
+            pipeline: 1,
+        }
+    }
+}
+
+struct PendingChunk {
+    builder: ChunkBuilder,
+    /// When the first record of the current chunk arrived (linger clock).
+    since: Option<Instant>,
+}
+
+struct StreamRoute {
+    metadata: StreamMetadata,
+    counter: AtomicU64,
+    pending: Vec<Mutex<PendingChunk>>,
+}
+
+struct SealedChunk {
+    broker: NodeId,
+    records: u32,
+    bytes: Bytes,
+}
+
+struct Shared {
+    cfg: ProducerConfig,
+    rpc: RpcClient,
+    routes: RwLock<HashMap<StreamId, Arc<StreamRoute>>>,
+    ready_tx: Sender<SealedChunk>,
+    shutdown: AtomicBool,
+    /// With `shutdown`: drop queued chunks instead of draining them
+    /// (fast teardown for benchmarks; `close()` drains, `Drop` discards).
+    discard: AtomicBool,
+    /// Chunks sealed but not yet acknowledged (flush barrier).
+    outstanding: AtomicU64,
+    /// Records acknowledged by brokers.
+    pub acked: ThroughputMeter,
+    /// Request latency (send → ack).
+    pub request_latency: LatencyHistogram,
+    /// Requests that exhausted retries.
+    pub failed_requests: Counter,
+}
+
+/// A producer client.
+pub struct Producer {
+    shared: Arc<Shared>,
+    requests_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Producer {
+    /// Connects a producer for `streams` (metadata is resolved eagerly).
+    pub fn new(
+        meta: &MetadataClient,
+        streams: &[StreamId],
+        cfg: ProducerConfig,
+    ) -> Result<Producer> {
+        let (ready_tx, ready_rx) = channel::bounded(cfg.queue_capacity.max(1));
+        let mut routes = HashMap::new();
+        for &s in streams {
+            let md = meta.metadata(s)?;
+            routes.insert(s, Arc::new(Self::route_for(&cfg, md)));
+        }
+        let shared = Arc::new(Shared {
+            cfg,
+            rpc: meta.rpc().clone(),
+            routes: RwLock::new(routes),
+            ready_tx,
+            shutdown: AtomicBool::new(false),
+            discard: AtomicBool::new(false),
+            outstanding: AtomicU64::new(0),
+            acked: ThroughputMeter::new(),
+            request_latency: LatencyHistogram::new(),
+            failed_requests: Counter::new(),
+        });
+        let requests_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("producer-req-{}", shared.cfg.id.raw()))
+                .spawn(move || requests_loop(shared, ready_rx))
+                .expect("spawn producer requests thread")
+        };
+        Ok(Producer { shared, requests_thread: Some(requests_thread) })
+    }
+
+    fn route_for(cfg: &ProducerConfig, metadata: StreamMetadata) -> StreamRoute {
+        let pending = (0..metadata.config.streamlets)
+            .map(|sl| {
+                Mutex::new(PendingChunk {
+                    builder: ChunkBuilder::new(
+                        cfg.chunk_size,
+                        cfg.id,
+                        metadata.config.id,
+                        kera_common::ids::StreamletId(sl),
+                    ),
+                    since: None,
+                })
+            })
+            .collect();
+        StreamRoute { metadata, counter: AtomicU64::new(0), pending }
+    }
+
+    /// Appends a non-keyed record (the paper's workload shape).
+    pub fn send(&self, stream: StreamId, value: &[u8]) -> Result<()> {
+        self.send_record(stream, &Record::value_only(value))
+    }
+
+    /// Appends a keyed record (partitioned by its first key under
+    /// [`Partitioner::ByKey`]).
+    pub fn send_keyed(&self, stream: StreamId, key: &[u8], value: &[u8]) -> Result<()> {
+        let rec = Record { version: None, timestamp: None, keys: vec![key], value };
+        self.send_record(stream, &rec)
+    }
+
+    /// Appends an arbitrary record.
+    pub fn send_record(&self, stream: StreamId, record: &Record<'_>) -> Result<()> {
+        if self.shared.shutdown.load(Ordering::Relaxed) {
+            return Err(KeraError::ShuttingDown);
+        }
+        let route = self
+            .shared
+            .routes
+            .read()
+            .get(&stream)
+            .cloned()
+            .ok_or(KeraError::UnknownStream(stream))?;
+        let counter = route.counter.fetch_add(1, Ordering::Relaxed);
+        let streamlet = self.shared.cfg.partitioner.pick(
+            route.metadata.config.streamlets,
+            counter,
+            record.keys.first().copied(),
+        );
+        let slot = &route.pending[streamlet.raw() as usize];
+
+        let sealed = {
+            let mut p = slot.lock();
+            if p.builder.append(record) {
+                if p.since.is_none() {
+                    p.since = Some(Instant::now());
+                }
+                None
+            } else {
+                if p.builder.is_empty() {
+                    return Err(KeraError::ChunkTooLarge {
+                        chunk: record.encoded_len(),
+                        segment: self.shared.cfg.chunk_size,
+                    });
+                }
+                // Seal the full chunk, rearm the builder, retry.
+                let sealed = seal_pending(&self.shared, &route, streamlet.raw(), &mut p)?;
+                if !p.builder.append(record) {
+                    return Err(KeraError::ChunkTooLarge {
+                        chunk: record.encoded_len(),
+                        segment: self.shared.cfg.chunk_size,
+                    });
+                }
+                p.since = Some(Instant::now());
+                Some(sealed)
+            }
+        };
+        if let Some(sealed) = sealed {
+            // Blocking push: backpressure when the cluster lags.
+            self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+            self.shared
+                .ready_tx
+                .send(sealed)
+                .map_err(|_| KeraError::ShuttingDown)?;
+        }
+        Ok(())
+    }
+
+    /// Seals all non-empty chunks and blocks until everything queued has
+    /// been acknowledged (or failed terminally).
+    pub fn flush(&self) -> Result<()> {
+        let routes: Vec<Arc<StreamRoute>> = self.shared.routes.read().values().cloned().collect();
+        for route in routes {
+            for sl in 0..route.metadata.config.streamlets {
+                let sealed = {
+                    let mut p = route.pending[sl as usize].lock();
+                    if p.builder.is_empty() {
+                        None
+                    } else {
+                        Some(seal_pending(&self.shared, &route, sl, &mut p)?)
+                    }
+                };
+                if let Some(sealed) = sealed {
+                    self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+                    self.shared.ready_tx.send(sealed).map_err(|_| KeraError::ShuttingDown)?;
+                }
+            }
+        }
+        while self.shared.outstanding.load(Ordering::Acquire) > 0 {
+            if self.shared.shutdown.load(Ordering::Relaxed) {
+                return Err(KeraError::ShuttingDown);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        Ok(())
+    }
+
+    /// Records acknowledged per second since
+    /// [`ThroughputMeter::start_window`]; the harness reads this.
+    pub fn metrics(&self) -> &ThroughputMeter {
+        &self.shared.acked
+    }
+
+    pub fn request_latency(&self) -> &LatencyHistogram {
+        &self.shared.request_latency
+    }
+
+    pub fn failed_requests(&self) -> u64 {
+        self.shared.failed_requests.get()
+    }
+
+    /// Flushes, stops the requests thread and joins it.
+    pub fn close(mut self) -> Result<()> {
+        let flush_result = self.flush();
+        self.stop(false);
+        flush_result
+    }
+
+    /// Fast teardown: queued-but-unsent chunks are discarded (their
+    /// records were never acknowledged). Benchmark harnesses use this so
+    /// a slow cluster cannot stretch teardown indefinitely.
+    pub fn abort(mut self) {
+        self.stop(true);
+    }
+
+    /// Orderly close used by [`Producer::close`]: everything queued is
+    /// drained and acknowledged before the requests thread exits.
+    fn stop(&mut self, discard: bool) {
+        self.shared.discard.store(discard, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.requests_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Producer {
+    fn drop(&mut self) {
+        // Dropping without close() is the abort path.
+        self.stop(true);
+    }
+}
+
+/// Seals the slot's chunk (caller holds the slot lock) and rearms the
+/// builder. Resolving the broker here keeps the requests thread free of
+/// metadata lookups.
+fn seal_pending(
+    shared: &Shared,
+    route: &StreamRoute,
+    streamlet: u32,
+    p: &mut PendingChunk,
+) -> Result<SealedChunk> {
+    let records = p.builder.record_count();
+    let bytes = p.builder.seal();
+    let sl = kera_common::ids::StreamletId(streamlet);
+    p.builder.reset(shared.cfg.id, route.metadata.config.id, sl);
+    p.since = None;
+    let broker = route
+        .metadata
+        .broker_of(sl)
+        .ok_or(KeraError::UnknownStreamlet(route.metadata.config.id, sl))?;
+    Ok(SealedChunk { broker, records, bytes })
+}
+
+/// The Requests thread: drains sealed chunks, enforces the linger
+/// timeout, groups chunks into one request per broker and keeps up to
+/// `pipeline` requests in flight per broker.
+fn requests_loop(shared: Arc<Shared>, ready_rx: Receiver<SealedChunk>) {
+    // Chunks carried over because their broker was at its pipeline limit
+    // or its request was full.
+    let mut backlog: Vec<SealedChunk> = Vec::new();
+    // FIFO of in-flight requests per broker.
+    let mut inflight: HashMap<NodeId, std::collections::VecDeque<InFlight>> = HashMap::new();
+    // The linger scan walks every pending slot; rate-limit it.
+    let mut last_linger_scan = Instant::now();
+    loop {
+        // Reap whatever completed without blocking.
+        reap(&shared, &mut inflight, false);
+
+        if shared.shutdown.load(Ordering::SeqCst) {
+            if shared.discard.load(Ordering::SeqCst) {
+                // Fast teardown: wait out what is already on the wire,
+                // drop everything still queued.
+                reap(&shared, &mut inflight, true);
+                let mut dropped = backlog.len() as u64;
+                while ready_rx.try_recv().is_ok() {
+                    dropped += 1;
+                }
+                shared.outstanding.fetch_sub(dropped, Ordering::AcqRel);
+                return;
+            }
+            if backlog.is_empty()
+                && ready_rx.is_empty()
+                && inflight.values().all(|q| q.is_empty())
+                && shared.outstanding.load(Ordering::Acquire) == 0
+            {
+                return;
+            }
+        }
+
+        let mut batch = std::mem::take(&mut backlog);
+        while let Ok(c) = ready_rx.try_recv() {
+            batch.push(c);
+        }
+        // Enforce linger on idle chunks (at most every linger/2: the
+        // scan walks every pending slot of every stream).
+        let scan_interval = shared.cfg.linger.max(Duration::from_micros(200)) / 2;
+        if last_linger_scan.elapsed() >= scan_interval {
+            scan_linger(&shared, &mut batch);
+            last_linger_scan = Instant::now();
+        }
+
+        // Group into one request per broker, respecting request_max_bytes
+        // and the pipeline bound; overflow returns to the backlog.
+        let mut per_broker: HashMap<NodeId, (Vec<u8>, u32, u32)> = HashMap::new();
+        let pipeline = shared.cfg.pipeline.max(1);
+        for c in batch {
+            if inflight.get(&c.broker).map(|q| q.len()).unwrap_or(0) >= pipeline
+                && !per_broker.contains_key(&c.broker)
+            {
+                backlog.push(c);
+                continue;
+            }
+            let entry = per_broker.entry(c.broker).or_insert_with(|| {
+                (Vec::with_capacity(shared.cfg.request_max_bytes.min(1 << 20)), 0, 0)
+            });
+            if entry.1 > 0 && entry.0.len() + c.bytes.len() > shared.cfg.request_max_bytes {
+                backlog.push(c);
+                continue;
+            }
+            entry.0.extend_from_slice(&c.bytes);
+            entry.1 += 1;
+            entry.2 += c.records;
+        }
+
+        let sent_any = !per_broker.is_empty();
+        let pipeline_one = pipeline == 1;
+        for (broker, (body, chunks, records)) in per_broker {
+            let req = ProduceRequest {
+                producer: shared.cfg.id,
+                recovery: false,
+                chunk_count: chunks,
+                chunks: Bytes::from(body),
+            };
+            let call = shared.rpc.call_async(broker, OpCode::Produce, req.encode());
+            inflight.entry(broker).or_default().push_back(InFlight {
+                call,
+                req,
+                broker,
+                chunks,
+                records,
+                started: Instant::now(),
+            });
+        }
+
+        if sent_any && pipeline_one {
+            // The paper's mode: one synchronous request per broker —
+            // block until every in-flight request resolves (group
+            // commit on the broker consolidates whatever queues up
+            // meanwhile). This keeps the requests thread cold between
+            // rounds instead of polling.
+            reap(&shared, &mut inflight, true);
+        } else if !sent_any {
+            let window = shared.cfg.linger.max(Duration::from_micros(200)) / 2;
+            // Nothing new could be shipped. If requests are in flight,
+            // block on the *oldest* one — its completion is what unblocks
+            // the next send (pipeline = 1 is the paper's mode, so this is
+            // the common path under load). Otherwise wait for new chunks.
+            let oldest = inflight
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .min_by_key(|(_, q)| q.front().unwrap().started)
+                .map(|(&b, _)| b);
+            match oldest {
+                Some(broker) => {
+                    let q = inflight.get_mut(&broker).unwrap();
+                    let front = q.front_mut().unwrap();
+                    if let Some(result) = front.call.poll_wait(window) {
+                        let inf = q.pop_front().unwrap();
+                        complete(&shared, inf, result);
+                    }
+                }
+                None => match ready_rx.recv_timeout(window) {
+                    Ok(c) => backlog.push(c), // processed on the next round
+                    Err(channel::RecvTimeoutError::Timeout) => {}
+                    Err(channel::RecvTimeoutError::Disconnected) => return,
+                },
+            }
+        }
+    }
+}
+
+/// One produce request on the wire.
+struct InFlight {
+    call: kera_rpc::node::PendingCall,
+    req: ProduceRequest,
+    broker: NodeId,
+    chunks: u32,
+    records: u32,
+    started: Instant,
+}
+
+/// Completes finished requests (front-of-queue order per broker). With
+/// `block`, waits for every in-flight request to resolve.
+fn reap(shared: &Shared, inflight: &mut HashMap<NodeId, std::collections::VecDeque<InFlight>>, block: bool) {
+    for queue in inflight.values_mut() {
+        while let Some(front) = queue.front() {
+            if !block && !front.call.is_ready() {
+                break;
+            }
+            let mut inf = queue.pop_front().unwrap();
+            let result = inf
+                .call
+                .poll_wait(shared.cfg.call_timeout)
+                .unwrap_or(Err(KeraError::Timeout { op: "produce" }));
+            complete(shared, inf, result);
+        }
+    }
+}
+
+/// Applies one resolved request: retries on failure, records metrics,
+/// releases the flush barrier.
+fn complete(shared: &Shared, inf: InFlight, mut result: Result<Bytes>) {
+    let mut attempts = 0;
+    while result.is_err() && attempts < shared.cfg.max_retries {
+        if shared.shutdown.load(Ordering::SeqCst) && shared.discard.load(Ordering::SeqCst) {
+            break;
+        }
+        attempts += 1;
+        // Chunk (producer, offset) tags make retries exactly-once on the
+        // broker side; re-send verbatim.
+        result = shared.rpc.call(
+            inf.broker,
+            OpCode::Produce,
+            inf.req.encode(),
+            shared.cfg.call_timeout,
+        );
+    }
+    match result {
+        Ok(payload) => {
+            if let Ok(resp) = ProduceResponse::decode(&payload) {
+                debug_assert_eq!(resp.acks.len() as u32, inf.chunks);
+            }
+            shared.acked.record(u64::from(inf.records), inf.req.chunks.len() as u64);
+            shared.request_latency.record(inf.started.elapsed());
+        }
+        Err(_) => {
+            shared.failed_requests.inc();
+        }
+    }
+    shared.outstanding.fetch_sub(u64::from(inf.chunks), Ordering::AcqRel);
+}
+
+/// Seals chunks whose linger expired (requests thread only).
+fn scan_linger(shared: &Shared, batch: &mut Vec<SealedChunk>) {
+    let routes: Vec<Arc<StreamRoute>> = shared.routes.read().values().cloned().collect();
+    for route in routes {
+        for sl in 0..route.metadata.config.streamlets {
+            let mut p = route.pending[sl as usize].lock();
+            let expired = p
+                .since
+                .map(|s| s.elapsed() >= shared.cfg.linger)
+                .unwrap_or(false);
+            if expired && !p.builder.is_empty() {
+                if let Ok(sealed) = seal_pending(shared, &route, sl, &mut p) {
+                    shared.outstanding.fetch_add(1, Ordering::AcqRel);
+                    batch.push(sealed);
+                }
+            }
+        }
+    }
+}

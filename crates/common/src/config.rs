@@ -1,0 +1,303 @@
+//! Configuration for clusters, streams and replication.
+//!
+//! The knobs here are exactly the ones the paper's evaluation sweeps
+//! (§V-A): chunk size, request size, linger timeout, number of streamlets,
+//! active groups per streamlet (`Q`), replication factor (`R`) and the
+//! number of virtual logs per broker (the *replication capacity*).
+
+use crate::error::{KeraError, Result};
+use crate::ids::StreamId;
+
+/// Default chunk capacity (the paper uses 1 KB–64 KB; 16 KB is its example
+/// default in §IV-A).
+pub const DEFAULT_CHUNK_SIZE: usize = 16 * 1024;
+/// Default physical segment capacity (8 MB in the paper; tests shrink it).
+pub const DEFAULT_SEGMENT_SIZE: usize = 8 * 1024 * 1024;
+/// Default number of segments logically assembled into one group.
+pub const DEFAULT_SEGMENTS_PER_GROUP: u32 = 16;
+/// Default virtual segment capacity (same as a physical segment so a full
+/// virtual segment replicates into one backup segment).
+pub const DEFAULT_VSEG_SIZE: usize = DEFAULT_SEGMENT_SIZE;
+/// Default producer linger (the paper fixes `linger.ms = 1`).
+pub const DEFAULT_LINGER_MS: u64 = 1;
+
+/// How streamlets are associated with virtual logs on a broker.
+///
+/// This is the *replication capacity* dial of §III: fewer shared logs mean
+/// fewer, larger replication RPCs (and fewer backup buffers); more logs mean
+/// more replication parallelism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VirtualLogPolicy {
+    /// A fixed pool of `n` virtual logs per broker shared by *all* streams;
+    /// streamlets are assigned round-robin (hash) onto the pool. This is the
+    /// headline configuration of Figs. 8, 10, 12–16.
+    SharedPerBroker(u32),
+    /// One virtual log per streamlet hosted on the broker — the closest
+    /// analogue of Kafka's one-replicated-log-per-partition (Fig. 9).
+    PerStreamlet,
+    /// One virtual log per *active sub-partition* (streamlet × active
+    /// group) — the throughput-optimized configuration of Figs. 11, 17–21.
+    PerSubPartition,
+}
+
+/// Replication configuration for a stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicationConfig {
+    /// Total copies of the data, including the broker's active replica.
+    /// `1` disables replication (the broker copy is the only one).
+    pub factor: u32,
+    /// How virtual logs are allotted on each broker.
+    pub policy: VirtualLogPolicy,
+    /// Virtual segment capacity in bytes.
+    pub vseg_size: usize,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        Self {
+            factor: 3,
+            policy: VirtualLogPolicy::SharedPerBroker(4),
+            vseg_size: DEFAULT_VSEG_SIZE,
+        }
+    }
+}
+
+impl ReplicationConfig {
+    /// Number of backup copies (excluding the broker's own active replica).
+    #[inline]
+    pub fn backup_copies(&self) -> u32 {
+        self.factor.saturating_sub(1)
+    }
+
+    pub fn validate(&self) -> Result<()> {
+        if self.factor == 0 {
+            return Err(KeraError::InvalidConfig("replication factor must be >= 1".into()));
+        }
+        if self.vseg_size == 0 {
+            return Err(KeraError::InvalidConfig("virtual segment size must be > 0".into()));
+        }
+        if let VirtualLogPolicy::SharedPerBroker(0) = self.policy {
+            return Err(KeraError::InvalidConfig("shared virtual log pool must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Static description of a stream, fixed at creation time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamConfig {
+    pub id: StreamId,
+    /// `M`: number of streamlets (logical partitions).
+    pub streamlets: u32,
+    /// `Q`: active groups (physical sub-partitions) per streamlet that
+    /// accept parallel appends.
+    pub active_groups: u32,
+    /// Segments per group before the group is closed.
+    pub segments_per_group: u32,
+    /// Physical segment capacity in bytes.
+    pub segment_size: usize,
+    pub replication: ReplicationConfig,
+}
+
+impl StreamConfig {
+    /// A stream shaped like a default Kafka topic partition: one streamlet
+    /// per partition, one active group (no parallel appends within a
+    /// partition), as used in Figs. 8 and 10.
+    pub fn kafka_like(id: StreamId, partitions: u32) -> Self {
+        Self {
+            id,
+            streamlets: partitions,
+            active_groups: 1,
+            segments_per_group: DEFAULT_SEGMENTS_PER_GROUP,
+            segment_size: DEFAULT_SEGMENT_SIZE,
+            replication: ReplicationConfig::default(),
+        }
+    }
+
+    pub fn validate(&self) -> Result<()> {
+        if self.streamlets == 0 {
+            return Err(KeraError::InvalidConfig("a stream needs at least one streamlet".into()));
+        }
+        if self.active_groups == 0 {
+            return Err(KeraError::InvalidConfig("Q (active groups) must be >= 1".into()));
+        }
+        if self.segments_per_group == 0 {
+            return Err(KeraError::InvalidConfig("segments per group must be >= 1".into()));
+        }
+        if self.segment_size < 64 {
+            return Err(KeraError::InvalidConfig("segment size unreasonably small".into()));
+        }
+        self.replication.validate()
+    }
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            id: StreamId(0),
+            streamlets: 1,
+            active_groups: 1,
+            segments_per_group: DEFAULT_SEGMENTS_PER_GROUP,
+            segment_size: DEFAULT_SEGMENT_SIZE,
+            replication: ReplicationConfig::default(),
+        }
+    }
+}
+
+/// Optional network cost model for the in-memory transport.
+///
+/// With everything zero (the default) messages are delivered as fast as the
+/// channel allows and all costs are the real CPU costs of the RPC stack.
+/// Non-zero values let experiments approximate a physical cluster: a fixed
+/// per-message wire latency plus a per-link bandwidth cap.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NetworkModel {
+    /// One-way latency added to each message, in nanoseconds.
+    pub latency_ns: u64,
+    /// Per-link bandwidth cap in bytes/second (`0` = unlimited).
+    pub bandwidth_bytes_per_sec: u64,
+}
+
+impl NetworkModel {
+    /// Time the wire occupies for a message of `bytes`, in nanoseconds
+    /// (serialization delay only; latency is added separately).
+    #[inline]
+    pub fn serialize_ns(&self, bytes: usize) -> u64 {
+        if self.bandwidth_bytes_per_sec == 0 {
+            0
+        } else {
+            (bytes as u128 * 1_000_000_000u128 / self.bandwidth_bytes_per_sec as u128) as u64
+        }
+    }
+
+    /// True when the model adds no cost and can be bypassed entirely.
+    #[inline]
+    pub fn is_free(&self) -> bool {
+        self.latency_ns == 0 && self.bandwidth_bytes_per_sec == 0
+    }
+}
+
+/// Which fabric the cluster's nodes talk over.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportChoice {
+    /// In-process channels: fastest, supports fault injection and the
+    /// network cost model.
+    #[default]
+    InMemory,
+    /// Loopback TCP sockets (the paper's client transport).
+    Tcp,
+}
+
+/// Cluster-wide configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of broker nodes (each co-hosting a backup service, as in the
+    /// paper's Grid5000 deployment).
+    pub brokers: u32,
+    /// Worker threads per broker (the paper uses 16, one per core).
+    pub worker_threads: usize,
+    /// Fabric choice (in-memory channels or loopback TCP).
+    pub transport: TransportChoice,
+    /// Network cost model (in-memory transport only).
+    pub network: NetworkModel,
+    /// Fixed CPU/IO-setup cost per *storage write operation* on the
+    /// replication path, in nanoseconds (busy-wait). Models what the
+    /// in-process substrate lacks relative to a real node: the per-write
+    /// syscall/filesystem/index cost of persisting one batch to one log
+    /// file. KerA backups pay it once per consolidated replication write;
+    /// Kafka followers pay it once per *partition* whose data a fetch
+    /// delivered (each partition is its own log file) — the paper's
+    /// "small I/Os vs large I/Os on backups". `0` disables the model.
+    pub io_cost_ns: u64,
+    /// Directory for asynchronous secondary-storage flushes; `None`
+    /// disables disk entirely (pure in-memory experiments, as the produce
+    /// path never depends on disk anyway).
+    pub flush_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            brokers: 4,
+            worker_threads: 4,
+            transport: TransportChoice::default(),
+            network: NetworkModel::default(),
+            io_cost_ns: 0,
+            flush_dir: None,
+        }
+    }
+}
+
+impl ClusterConfig {
+    pub fn validate(&self) -> Result<()> {
+        if self.brokers == 0 {
+            return Err(KeraError::InvalidConfig("cluster needs at least one broker".into()));
+        }
+        if self.worker_threads == 0 {
+            return Err(KeraError::InvalidConfig("brokers need at least one worker thread".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        ClusterConfig::default().validate().unwrap();
+        StreamConfig::default().validate().unwrap();
+        ReplicationConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut r = ReplicationConfig::default();
+        r.factor = 0;
+        assert!(r.validate().is_err());
+        r.factor = 3;
+        r.policy = VirtualLogPolicy::SharedPerBroker(0);
+        assert!(r.validate().is_err());
+
+        let mut s = StreamConfig::default();
+        s.streamlets = 0;
+        assert!(s.validate().is_err());
+        s.streamlets = 4;
+        s.active_groups = 0;
+        assert!(s.validate().is_err());
+
+        let mut c = ClusterConfig::default();
+        c.brokers = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn backup_copies() {
+        let mut r = ReplicationConfig::default();
+        r.factor = 3;
+        assert_eq!(r.backup_copies(), 2);
+        r.factor = 1;
+        assert_eq!(r.backup_copies(), 0);
+    }
+
+    #[test]
+    fn kafka_like_shape() {
+        let s = StreamConfig::kafka_like(StreamId(5), 32);
+        assert_eq!(s.streamlets, 32);
+        assert_eq!(s.active_groups, 1);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn network_model_costs() {
+        let free = NetworkModel::default();
+        assert!(free.is_free());
+        assert_eq!(free.serialize_ns(1_000_000), 0);
+
+        let gbe10 = NetworkModel { latency_ns: 20_000, bandwidth_bytes_per_sec: 1_250_000_000 };
+        assert!(!gbe10.is_free());
+        // 1.25 GB/s -> 1 MB takes 800 µs.
+        assert_eq!(gbe10.serialize_ns(1_000_000), 800_000);
+    }
+}

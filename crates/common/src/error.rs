@@ -1,0 +1,136 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+use std::io;
+
+use crate::ids::{GroupRef, NodeId, StreamId, StreamletId};
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, KeraError>;
+
+/// Every failure mode the storage system can surface.
+///
+/// The variants map one-to-one onto the response status codes carried on the
+/// wire (see `kera-wire`), so a remote error can be reconstructed losslessly
+/// on the client side.
+#[derive(Debug)]
+pub enum KeraError {
+    /// An OS-level I/O failure (disk flusher, TCP transport).
+    Io(io::Error),
+    /// A checksum mismatch was detected while validating a record, chunk or
+    /// virtual segment.
+    Corruption {
+        what: &'static str,
+        expected: u32,
+        actual: u32,
+    },
+    /// A malformed frame or message body.
+    Protocol(String),
+    /// The referenced stream does not exist on this broker/coordinator.
+    UnknownStream(StreamId),
+    /// The referenced streamlet does not exist (or is not owned here).
+    UnknownStreamlet(StreamId, StreamletId),
+    /// The referenced group does not exist.
+    UnknownGroup(GroupRef),
+    /// A stream with this id already exists.
+    StreamExists(StreamId),
+    /// An append did not fit and could not be retried (e.g. a chunk larger
+    /// than a whole segment).
+    ChunkTooLarge { chunk: usize, segment: usize },
+    /// An RPC did not complete within its deadline.
+    Timeout { op: &'static str },
+    /// The peer is gone (crashed node, closed channel or socket).
+    Disconnected(NodeId),
+    /// The cluster has no node able to serve the request (e.g. not enough
+    /// backups for the requested replication factor).
+    NoCapacity(String),
+    /// The request was valid but the node is shutting down.
+    ShuttingDown,
+    /// Recovery-specific failure.
+    Recovery(String),
+    /// Invalid user-supplied configuration.
+    InvalidConfig(String),
+}
+
+impl KeraError {
+    /// True when the operation may be safely retried by the client
+    /// (idempotent chunk tagging makes produce retries exactly-once).
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            KeraError::Timeout { .. } | KeraError::Disconnected(_) | KeraError::ShuttingDown
+        )
+    }
+}
+
+impl fmt::Display for KeraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeraError::Io(e) => write!(f, "i/o error: {e}"),
+            KeraError::Corruption { what, expected, actual } => write!(
+                f,
+                "corruption detected in {what}: expected checksum {expected:#010x}, got {actual:#010x}"
+            ),
+            KeraError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            KeraError::UnknownStream(s) => write!(f, "unknown stream {s}"),
+            KeraError::UnknownStreamlet(s, p) => write!(f, "unknown streamlet {p} of stream {s}"),
+            KeraError::UnknownGroup(g) => write!(f, "unknown group {g}"),
+            KeraError::StreamExists(s) => write!(f, "stream {s} already exists"),
+            KeraError::ChunkTooLarge { chunk, segment } => {
+                write!(f, "chunk of {chunk} bytes cannot fit in a {segment}-byte segment")
+            }
+            KeraError::Timeout { op } => write!(f, "operation {op} timed out"),
+            KeraError::Disconnected(n) => write!(f, "peer {n} disconnected"),
+            KeraError::NoCapacity(msg) => write!(f, "no capacity: {msg}"),
+            KeraError::ShuttingDown => write!(f, "node is shutting down"),
+            KeraError::Recovery(msg) => write!(f, "recovery failure: {msg}"),
+            KeraError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KeraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KeraError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for KeraError {
+    fn from(e: io::Error) -> Self {
+        KeraError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GroupId;
+
+    #[test]
+    fn display_formats() {
+        let e = KeraError::Corruption { what: "chunk", expected: 1, actual: 2 };
+        assert!(e.to_string().contains("chunk"));
+        assert!(e.to_string().contains("0x00000001"));
+
+        let e = KeraError::UnknownGroup(GroupRef::new(StreamId(1), StreamletId(2), GroupId(3)));
+        assert!(e.to_string().contains("s1/p2/g3"));
+    }
+
+    #[test]
+    fn retriability() {
+        assert!(KeraError::Timeout { op: "produce" }.is_retriable());
+        assert!(KeraError::Disconnected(NodeId(3)).is_retriable());
+        assert!(!KeraError::UnknownStream(StreamId(1)).is_retriable());
+        assert!(!KeraError::Protocol("x".into()).is_retriable());
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let e: KeraError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        assert!(matches!(e, KeraError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,198 @@
+//! Strongly-typed identifiers used across the workspace.
+//!
+//! Every entity of the paper's data model gets its own newtype so the type
+//! system prevents, e.g., a streamlet id being used where a group id is
+//! expected. All ids are plain integers with a stable wire representation.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $repr:ty) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Returns the raw integer value.
+            #[inline]
+            pub const fn raw(self) -> $repr {
+                self.0
+            }
+
+            /// Builds the id from its raw integer value.
+            #[inline]
+            pub const fn from_raw(raw: $repr) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(self, f)
+            }
+        }
+
+        impl From<$repr> for $name {
+            #[inline]
+            fn from(raw: $repr) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for $repr {
+            #[inline]
+            fn from(id: $name) -> $repr {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A data stream (a *topic* in Kafka terminology).
+    StreamId,
+    u32
+);
+define_id!(
+    /// A logical partition of a stream (a *partition* in Kafka; KerA calls
+    /// these *streamlets*). Streamlet ids are scoped to their stream and
+    /// numbered `0..M`.
+    StreamletId,
+    u32
+);
+define_id!(
+    /// A fixed-size sub-partition of a streamlet: a *group of segments*.
+    /// Group ids are scoped to their streamlet and grow without bound as
+    /// data arrives.
+    GroupId,
+    u32
+);
+define_id!(
+    /// A physical in-memory segment. Segment ids are scoped to their group.
+    SegmentId,
+    u32
+);
+define_id!(
+    /// A shared replicated virtual log. Scoped to its owning broker.
+    VirtualLogId,
+    u32
+);
+define_id!(
+    /// A virtual segment within a virtual log; monotonically increasing.
+    VirtualSegmentId,
+    u64
+);
+define_id!(
+    /// A node of the simulated cluster: coordinator, broker, backup or
+    /// client. Node ids are unique across the whole cluster and double as
+    /// transport addresses.
+    NodeId,
+    u32
+);
+define_id!(
+    /// A producer client.
+    ProducerId,
+    u32
+);
+define_id!(
+    /// A consumer client.
+    ConsumerId,
+    u32
+);
+
+/// A fully-qualified streamlet: `(stream, streamlet)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct StreamletRef {
+    pub stream: StreamId,
+    pub streamlet: StreamletId,
+}
+
+impl StreamletRef {
+    #[inline]
+    pub const fn new(stream: StreamId, streamlet: StreamletId) -> Self {
+        Self { stream, streamlet }
+    }
+}
+
+impl fmt::Display for StreamletRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}/p{}", self.stream.0, self.streamlet.0)
+    }
+}
+
+/// A fully-qualified group: `(stream, streamlet, group)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GroupRef {
+    pub stream: StreamId,
+    pub streamlet: StreamletId,
+    pub group: GroupId,
+}
+
+impl GroupRef {
+    #[inline]
+    pub const fn new(stream: StreamId, streamlet: StreamletId, group: GroupId) -> Self {
+        Self { stream, streamlet, group }
+    }
+
+    #[inline]
+    pub const fn streamlet_ref(self) -> StreamletRef {
+        StreamletRef::new(self.stream, self.streamlet)
+    }
+}
+
+impl fmt::Display for GroupRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}/p{}/g{}", self.stream.0, self.streamlet.0, self.group.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roundtrip_raw() {
+        let s = StreamId::from_raw(42);
+        assert_eq!(s.raw(), 42);
+        assert_eq!(u32::from(s), 42);
+        assert_eq!(StreamId::from(42u32), s);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(StreamId(7).to_string(), "StreamId(7)");
+        assert_eq!(
+            GroupRef::new(StreamId(1), StreamletId(2), GroupId(3)).to_string(),
+            "s1/p2/g3"
+        );
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(NodeId(1));
+        set.insert(NodeId(1));
+        set.insert(NodeId(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    fn group_ref_projects_streamlet_ref() {
+        let g = GroupRef::new(StreamId(9), StreamletId(4), GroupId(0));
+        assert_eq!(g.streamlet_ref(), StreamletRef::new(StreamId(9), StreamletId(4)));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(StreamId::default().raw(), 0);
+        assert_eq!(VirtualSegmentId::default().raw(), 0);
+    }
+}

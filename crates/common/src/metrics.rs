@@ -1,0 +1,278 @@
+//! Low-overhead metrics: counters, windowed throughput meters and a
+//! log-bucketed latency histogram.
+//!
+//! Brokers, clients and the harness all report through these types. They are
+//! deliberately allocation-free on the hot path and safe to share across
+//! threads (`&self` everywhere, relaxed atomics — metrics never synchronize
+//! data).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Self {
+        Self { value: AtomicU64::new(0) }
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn reset(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Measures sustained throughput over an interval, the way the paper does:
+/// start the clock once the workload is warm, read the counter at the end.
+#[derive(Debug)]
+pub struct ThroughputMeter {
+    items: Counter,
+    bytes: Counter,
+    started: parking_lot::Mutex<Option<Instant>>,
+}
+
+impl Default for ThroughputMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThroughputMeter {
+    pub fn new() -> Self {
+        Self {
+            items: Counter::new(),
+            bytes: Counter::new(),
+            started: parking_lot::Mutex::new(None),
+        }
+    }
+
+    /// Marks the beginning of the measurement window and zeroes the
+    /// counters (discarding warm-up traffic).
+    pub fn start_window(&self) {
+        self.items.reset();
+        self.bytes.reset();
+        *self.started.lock() = Some(Instant::now());
+    }
+
+    #[inline]
+    pub fn record(&self, items: u64, bytes: u64) {
+        self.items.add(items);
+        self.bytes.add(bytes);
+    }
+
+    pub fn items(&self) -> u64 {
+        self.items.get()
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes.get()
+    }
+
+    /// Snapshot of (items/s, bytes/s) since `start_window`; `None` if the
+    /// window was never started or no time has elapsed.
+    pub fn rates(&self) -> Option<(f64, f64)> {
+        let started = (*self.started.lock())?;
+        let secs = started.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            return None;
+        }
+        Some((self.items.get() as f64 / secs, self.bytes.get() as f64 / secs))
+    }
+}
+
+/// Number of buckets in [`LatencyHistogram`]: 64 power-of-two buckets of
+/// nanoseconds cover 1 ns .. ~584 years.
+const HIST_BUCKETS: usize = 64;
+
+/// A lock-free log₂-bucketed latency histogram.
+///
+/// Bucket `i` counts samples whose nanosecond value has its highest set bit
+/// at position `i`. Percentile queries return the upper bound of the bucket,
+/// giving ≤ 2x relative error — plenty for the latency *trends* the paper
+/// discusses.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, latency: Duration) {
+        self.record_ns(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let bucket = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound (in ns) of the bucket containing quantile `q` (0..=1).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+            }
+        }
+        self.max_ns()
+    }
+
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.1}us p50={:.1}us p99={:.1}us max={:.1}us",
+            self.count(),
+            self.mean_ns() / 1e3,
+            self.quantile_ns(0.50) as f64 / 1e3,
+            self.quantile_ns(0.99) as f64 / 1e3,
+            self.max_ns() as f64 / 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.reset(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        let c = Arc::new(Counter::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn throughput_meter_window() {
+        let m = ThroughputMeter::new();
+        assert!(m.rates().is_none());
+        m.record(100, 1000); // pre-window traffic is discarded
+        m.start_window();
+        m.record(50, 500);
+        std::thread::sleep(Duration::from_millis(20));
+        let (items_s, bytes_s) = m.rates().unwrap();
+        assert!(items_s > 0.0 && items_s < 50.0 / 0.015);
+        assert!(bytes_s > 0.0);
+        assert_eq!(m.items(), 50);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::new();
+        for ns in [100u64, 200, 400, 800, 100_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile_ns(0.5);
+        assert!((256..=511).contains(&p50), "p50 bucket got {p50}");
+        let p100 = h.quantile_ns(1.0);
+        assert!(p100 >= 100_000);
+        assert_eq!(h.max_ns(), 100_000);
+        assert!((h.mean_ns() - 20_300.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_zero_and_extreme_values() {
+        let h = LatencyHistogram::new();
+        h.record_ns(0); // clamped to bucket 0
+        h.record_ns(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_ns(0.0), 1);
+        assert_eq!(h.quantile_ns(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_summary_contains_fields() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(5));
+        let s = h.summary();
+        assert!(s.contains("n=1"));
+        assert!(s.contains("p99"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Monotonic-time helpers and a calibrated busy-wait.
+//!
+//! The optional network cost model needs sub-microsecond delays that
+//! `thread::sleep` cannot provide (its granularity is ~50 µs or worse under
+//! load). [`spin_for_ns`] busy-waits for short delays and falls back to
+//! sleeping for long ones, which keeps the simulated wire costs accurate
+//! without burning a core on multi-millisecond waits.
+
+use std::time::{Duration, Instant};
+
+/// Threshold above which we sleep instead of spinning.
+const SPIN_MAX_NS: u64 = 100_000; // 100 µs
+
+/// Blocks the calling thread for approximately `ns` nanoseconds.
+///
+/// Below [`SPIN_MAX_NS`] this busy-waits on `Instant::now` (accurate to the
+/// clock read overhead, tens of nanoseconds); above it, it sleeps for the
+/// bulk and spins the remainder.
+pub fn spin_for_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    let target = Duration::from_nanos(ns);
+    if ns > SPIN_MAX_NS {
+        // Sleep for everything but the final spin window.
+        let sleep_ns = ns - SPIN_MAX_NS;
+        std::thread::sleep(Duration::from_nanos(sleep_ns));
+    }
+    while start.elapsed() < target {
+        std::hint::spin_loop();
+    }
+}
+
+/// A stopwatch that can be cheaply restarted; used for linger timers.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    #[inline]
+    pub fn new() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    #[inline]
+    pub fn restart(&mut self) {
+        self.start = Instant::now();
+    }
+
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    #[inline]
+    pub fn expired(&self, limit: Duration) -> bool {
+        self.elapsed() >= limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_zero_returns_immediately() {
+        let t = Instant::now();
+        spin_for_ns(0);
+        assert!(t.elapsed() < Duration::from_millis(1));
+    }
+
+    #[test]
+    fn spin_short_is_at_least_requested() {
+        let t = Instant::now();
+        spin_for_ns(10_000); // 10 µs
+        assert!(t.elapsed() >= Duration::from_nanos(10_000));
+        assert!(t.elapsed() < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn spin_long_uses_sleep_and_is_at_least_requested() {
+        let t = Instant::now();
+        spin_for_ns(2_000_000); // 2 ms
+        assert!(t.elapsed() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn stopwatch_expiry() {
+        let mut w = Stopwatch::new();
+        assert!(!w.expired(Duration::from_secs(60)));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(w.expired(Duration::from_millis(1)));
+        w.restart();
+        assert!(!w.expired(Duration::from_millis(1)));
+    }
+}

@@ -1,0 +1,8 @@
+//! Runs every figure of the paper's evaluation (Figs. 8-21) and writes
+//! one TSV per figure under results/. Scale with KERA_MEASURE_MS /
+//! KERA_WARMUP_MS.
+fn main() {
+    for fig in kera_harness::all_figures() {
+        kera_harness::report::figure_main(fig.id);
+    }
+}

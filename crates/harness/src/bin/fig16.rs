@@ -1,0 +1,4 @@
+//! Reproduces Figure 16 of the paper. See DESIGN.md §4 for the sweep.
+fn main() {
+    kera_harness::report::figure_main("fig16");
+}

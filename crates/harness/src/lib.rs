@@ -1,0 +1,28 @@
+//! Benchmark harness: regenerates every figure of the paper's evaluation
+//! (Figs. 8–21) against the in-process KerA cluster and the Kafka-style
+//! baseline.
+//!
+//! - [`experiment`] — one experiment = one cluster + `P` producers + `C`
+//!   consumers running the paper's workload (§V-A: non-keyed 100-byte
+//!   records, `linger.ms = 1`, proxy producers sharing all streams, one
+//!   request per broker in parallel), measured over a steady-state window
+//!   that skips warm-up;
+//! - [`workload`] — synthetic record generation;
+//! - [`figures`] — the per-figure parameter sweeps of §V-B/C/D, each
+//!   mapping onto [`experiment::ExperimentConfig`]s;
+//! - [`report`] — table/TSV output.
+//!
+//! Scale knobs (environment):
+//! `KERA_MEASURE_MS` (default 2000), `KERA_WARMUP_MS` (default 750),
+//! `KERA_BROKER_WORKERS` (default 3). Absolute numbers depend on the host
+//! (this is a single-process simulation, not Grid5000); the *shapes* are
+//! what `EXPERIMENTS.md` tracks.
+
+pub mod experiment;
+pub mod figures;
+pub mod report;
+pub mod rig;
+pub mod workload;
+
+pub use experiment::{ExperimentConfig, Measurement, SystemKind};
+pub use figures::{all_figures, figure};

@@ -1,0 +1,143 @@
+//! Result collection and table/TSV output.
+
+use std::io::Write;
+use std::path::Path;
+
+use kera_common::Result;
+
+use crate::experiment::{run_experiment, Measurement};
+use crate::figures::Figure;
+
+/// One measured figure point.
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub figure: String,
+    pub series: String,
+    pub x: String,
+    pub m: Measurement,
+}
+
+/// Runs every point of `fig`, printing one line per point as it lands
+/// (throughput in million records/s, like the paper's y-axes).
+pub fn run_figure(fig: &Figure) -> Result<Vec<Row>> {
+    println!("== {}: {} ({} points) ==", fig.id, fig.title, fig.points.len());
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>10} {:>12}",
+        "series", "x", "Mrec/s", "MB/s", "lat(us)", "consolid."
+    );
+    let mut rows = Vec::with_capacity(fig.points.len());
+    for p in &fig.points {
+        let m = run_experiment(&p.cfg)?;
+        println!(
+            "{:<18} {:>12} {:>12.3} {:>12.1} {:>10.0} {:>12.1}",
+            p.series,
+            p.x,
+            m.mrecords_per_sec(),
+            m.produce_bytes_rate / 1e6,
+            m.mean_request_latency_us,
+            m.consolidation(),
+        );
+        if m.failed_requests > 0 {
+            eprintln!("  warning: {} failed produce requests", m.failed_requests);
+        }
+        rows.push(Row { figure: fig.id.to_string(), series: p.series.clone(), x: p.x.clone(), m });
+    }
+    Ok(rows)
+}
+
+/// Writes rows as TSV (one header line, then one row per point).
+pub fn write_tsv(path: &Path, rows: &[Row]) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "figure\tseries\tx\tmrecords_per_sec\tproduce_rate\tconsume_rate\tbytes_per_sec\tmean_latency_us\treplication_batches\treplication_chunks\tfailed_requests"
+    )?;
+    for r in rows {
+        writeln!(
+            f,
+            "{}\t{}\t{}\t{:.4}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{}\t{}\t{}",
+            r.figure,
+            r.series,
+            r.x,
+            r.m.mrecords_per_sec(),
+            r.m.produce_rate,
+            r.m.consume_rate,
+            r.m.produce_bytes_rate,
+            r.m.mean_request_latency_us,
+            r.m.replication_batches,
+            r.m.replication_chunks,
+            r.m.failed_requests,
+        )?;
+    }
+    Ok(())
+}
+
+/// Standard entry point for the per-figure binaries: runs the figure and
+/// stores `results/<id>.tsv`.
+pub fn figure_main(id: &str) {
+    let fig = crate::figures::figure(id).unwrap_or_else(|| {
+        eprintln!("unknown figure {id}");
+        std::process::exit(2);
+    });
+    match run_figure(&fig) {
+        Ok(rows) => {
+            let path = std::path::PathBuf::from("results").join(format!("{id}.tsv"));
+            if let Err(e) = write_tsv(&path, &rows) {
+                eprintln!("could not write {}: {e}", path.display());
+            } else {
+                println!("wrote {}", path.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("{id} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Measurement;
+
+    fn row() -> Row {
+        Row {
+            figure: "fig00".into(),
+            series: "KerA R3".into(),
+            x: "128".into(),
+            m: Measurement {
+                produce_rate: 1_500_000.0,
+                consume_rate: 1_400_000.0,
+                produce_bytes_rate: 150e6,
+                mean_request_latency_us: 250.0,
+                replication_batches: 10,
+                replication_chunks: 100,
+                failed_requests: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("kera-report-{}", std::process::id()));
+        let path = dir.join("out.tsv");
+        write_tsv(&path, &[row()]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        assert!(lines.next().unwrap().starts_with("figure\tseries"));
+        let data = lines.next().unwrap();
+        assert!(data.contains("KerA R3"));
+        assert!(data.contains("1.5000"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn consolidation_math() {
+        let r = row();
+        assert!((r.m.consolidation() - 10.0).abs() < 1e-9);
+        assert!((r.m.mrecords_per_sec() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,178 @@
+//! A reusable cluster + producer rig for Criterion benchmarks.
+//!
+//! Criterion measures "time to ingest N records end-to-end (acked)"; the
+//! rig keeps the cluster and producers alive across iterations so setup
+//! cost stays out of the measurement.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kera_broker::KeraCluster;
+use kera_client::producer::{Producer, ProducerConfig};
+use kera_client::{MetadataClient, Partitioner};
+use kera_common::config::ClusterConfig;
+use kera_common::ids::{ProducerId, StreamId};
+use kera_common::Result;
+use kera_kafka_sim::broker::KafkaTuning;
+use kera_kafka_sim::KafkaCluster;
+use kera_rpc::NodeRuntime;
+
+use crate::experiment::{ExperimentConfig, SystemKind};
+use crate::workload::RecordPool;
+
+enum AnyCluster {
+    Kera(KeraCluster),
+    Kafka(KafkaCluster),
+}
+
+/// A running cluster with connected producers, ready to ingest on demand.
+pub struct BenchRig {
+    cluster: Option<AnyCluster>,
+    producers: Vec<Arc<Producer>>,
+    _rts: Vec<NodeRuntime>,
+    streams: Vec<StreamId>,
+    record_size: usize,
+}
+
+impl BenchRig {
+    /// Boots the system under `cfg` and connects `cfg.producers`
+    /// producers (no background source threads — [`BenchRig::ingest`]
+    /// drives them).
+    pub fn start(cfg: &ExperimentConfig) -> Result<BenchRig> {
+        let cluster_cfg = ClusterConfig {
+            brokers: cfg.brokers,
+            worker_threads: cfg.worker_threads,
+            io_cost_ns: cfg.io_cost_ns,
+            ..ClusterConfig::default()
+        };
+        let cluster = match cfg.system {
+            SystemKind::Kera => AnyCluster::Kera(KeraCluster::start(cluster_cfg)?),
+            SystemKind::Kafka => AnyCluster::Kafka(KafkaCluster::start(
+                cluster_cfg,
+                KafkaTuning { fetch_wait: cfg.kafka_fetch_wait, ..KafkaTuning::default() },
+            )?),
+        };
+        let client = |i: u32| match &cluster {
+            AnyCluster::Kera(c) => c.client(i),
+            AnyCluster::Kafka(c) => c.client(i),
+        };
+        let coordinator = match &cluster {
+            AnyCluster::Kera(c) => c.coordinator(),
+            AnyCluster::Kafka(c) => c.coordinator(),
+        };
+
+        let admin_rt = client(cfg.producers);
+        let admin = MetadataClient::new(admin_rt.client(), coordinator);
+        let streams: Vec<StreamId> = (1..=cfg.streams).map(StreamId).collect();
+        for &s in &streams {
+            admin.create_stream(cfg.stream_config(s.raw()))?;
+        }
+
+        let mut producers = Vec::new();
+        let mut rts = vec![admin_rt];
+        for p in 0..cfg.producers {
+            let rt = client(p);
+            let meta = MetadataClient::new(rt.client(), coordinator);
+            producers.push(Arc::new(Producer::new(
+                &meta,
+                &streams,
+                ProducerConfig {
+                    id: ProducerId(p),
+                    chunk_size: cfg.chunk_size,
+                    request_max_bytes: cfg.request_max_bytes,
+                    linger: cfg.linger,
+                    partitioner: Partitioner::RoundRobin,
+                    ..ProducerConfig::default()
+                },
+            )?));
+            rts.push(rt);
+        }
+        Ok(BenchRig {
+            cluster: Some(cluster),
+            producers,
+            _rts: rts,
+            streams,
+            record_size: cfg.record_size,
+        })
+    }
+
+    /// Ingests `total` records spread over the producers (each on its own
+    /// thread, like the paper's concurrent producers), flushes, and
+    /// returns the wall-clock time from first send to last ack.
+    pub fn ingest(&self, total: u64) -> Duration {
+        let per = (total / self.producers.len() as u64).max(1);
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for (i, producer) in self.producers.iter().enumerate() {
+                let streams = &self.streams;
+                let record_size = self.record_size;
+                let producer = Arc::clone(producer);
+                scope.spawn(move || {
+                    let mut pool = RecordPool::new(16, record_size, i as u64);
+                    for k in 0..per {
+                        let stream = streams[(k as usize) % streams.len()];
+                        if producer.send(stream, pool.next()).is_err() {
+                            return;
+                        }
+                    }
+                    let _ = producer.flush();
+                });
+            }
+        });
+        started.elapsed()
+    }
+
+    /// Tears the rig down.
+    pub fn stop(mut self) {
+        self.producers.clear();
+        if let Some(cluster) = self.cluster.take() {
+            match cluster {
+                AnyCluster::Kera(c) => c.shutdown(),
+                AnyCluster::Kafka(c) => c.shutdown(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rig_ingests_and_stops() {
+        let cfg = ExperimentConfig {
+            brokers: 2,
+            producers: 2,
+            streams: 2,
+            replication_factor: 2,
+            chunk_size: 1024,
+            worker_threads: 2,
+            ..ExperimentConfig::default()
+        };
+        let rig = BenchRig::start(&cfg).unwrap();
+        let d1 = rig.ingest(100);
+        let d2 = rig.ingest(1000);
+        assert!(d1 > Duration::ZERO && d2 > Duration::ZERO);
+        rig.stop();
+    }
+
+    #[test]
+    fn rig_works_for_kafka() {
+        let cfg = ExperimentConfig {
+            system: SystemKind::Kafka,
+            brokers: 2,
+            producers: 1,
+            streams: 1,
+            streamlets_per_stream: 2,
+            replication_factor: 2,
+            chunk_size: 1024,
+            worker_threads: 2,
+            kafka_fetch_wait: Duration::from_millis(20),
+            ..ExperimentConfig::default()
+        };
+        let rig = BenchRig::start(&cfg).unwrap();
+        let d = rig.ingest(500);
+        assert!(d > Duration::ZERO);
+        rig.stop();
+    }
+}

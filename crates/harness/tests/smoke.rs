@@ -1,0 +1,55 @@
+//! Harness smoke test: a miniature figure runs end-to-end through
+//! `run_figure` and lands in a TSV.
+
+use std::time::Duration;
+
+use kera_harness::figures::{quick, Figure, Point};
+use kera_harness::report::{run_figure, write_tsv};
+use kera_harness::{ExperimentConfig, SystemKind};
+
+#[test]
+fn mini_figure_runs_and_writes_tsv() {
+    let mk = |system: SystemKind| ExperimentConfig {
+        system,
+        brokers: 2,
+        worker_threads: 2,
+        producers: 2,
+        streams: 4,
+        chunk_size: 1024,
+        replication_factor: 2,
+        warmup: Duration::from_millis(100),
+        measure: Duration::from_millis(300),
+        io_cost_ns: 0, // keep the smoke test fast and host-independent
+        ..ExperimentConfig::default()
+    };
+    let fig = Figure {
+        id: "fig_smoke",
+        title: "smoke",
+        points: vec![
+            Point { series: "KerA".into(), x: "4".into(), cfg: mk(SystemKind::Kera) },
+            Point { series: "Kafka".into(), x: "4".into(), cfg: mk(SystemKind::Kafka) },
+        ],
+    };
+    let rows = run_figure(&fig).unwrap();
+    assert_eq!(rows.len(), 2);
+    for r in &rows {
+        assert!(r.m.produce_rate > 0.0, "{} measured nothing", r.series);
+        assert_eq!(r.m.failed_requests, 0);
+    }
+    let dir = std::env::temp_dir().join(format!("kera-smoke-{}", std::process::id()));
+    let path = dir.join("fig_smoke.tsv");
+    write_tsv(&path, &rows).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text.lines().count(), 3); // header + 2 rows
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quick_scaling_preserves_series_coverage() {
+    let fig = quick(kera_harness::figures::fig08(), 6, Duration::from_millis(100));
+    // Subsetting must keep points from both systems.
+    let has_kafka = fig.points.iter().any(|p| p.series.starts_with("Kafka"));
+    let has_kera = fig.points.iter().any(|p| p.series.starts_with("KerA"));
+    assert!(has_kafka && has_kera, "subset lost a system: {:?}",
+        fig.points.iter().map(|p| p.series.clone()).collect::<Vec<_>>());
+}

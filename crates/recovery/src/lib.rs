@@ -1,0 +1,307 @@
+//! Crash recovery: parallel backup replay and metadata reconstruction
+//! (paper §III, §IV-B and the RAMCloud-inspired fast-recovery future
+//! work).
+//!
+//! When a broker crashes, its durably-acknowledged chunks survive on the
+//! backups that replicated its virtual logs. Recovery proceeds in four
+//! steps, driven by a [`RecoveryManager`]:
+//!
+//! 1. **Report** the crash to the coordinator, which reassigns the dead
+//!    broker's streamlets to survivors and tells them to host the
+//!    streamlets;
+//! 2. **Enumerate**: every backup lists the replicated virtual segments
+//!    it holds for the crashed broker; segments replicated `R−1` times
+//!    are deduplicated so each is read exactly once, spread across
+//!    backups ("data can be read in parallel from many backups");
+//! 3. **Read & order**: virtual segments are streamed back and their
+//!    chunks regrouped per (stream, streamlet, slot) in `base_offset`
+//!    order — the virtual log preserved per-slot append order, so this
+//!    reconstructs each sub-partition exactly;
+//! 4. **Replay**: chunks are re-ingested into the new owner brokers as
+//!    normal produce requests ("each of these requests is handled as a
+//!    normal producer request"), which re-replicates them and rebuilds
+//!    the per-slot offsets; the chunk's `(producer, base_offset)` tags
+//!    make the replay exactly-once.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use kera_common::ids::{NodeId, ProducerId, StreamId, StreamletId};
+use kera_common::{KeraError, Result};
+use kera_rpc::RpcClient;
+use kera_wire::chunk::ChunkIter;
+use kera_wire::frames::OpCode;
+use kera_wire::messages::{
+    CrashReassignmentResponse, GetMetadataRequest, ProduceRequest, ProduceResponse,
+    RecoveryEnumerateRequest, RecoveryEnumerateResponse, RecoveryReadRequest, ReportCrashRequest,
+    StreamMetadata,
+};
+
+/// Producer id recovery requests are issued under (outside the normal
+/// client id space; the per-chunk producer in each chunk header is what
+/// brokers route by).
+pub const RECOVERY_PRODUCER: ProducerId = ProducerId(u32::MAX);
+
+/// Outcome of one recovery run.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Streamlets that moved, per the coordinator.
+    pub reassigned_streamlets: usize,
+    /// Replicated virtual segments read from backups (after dedup).
+    pub vsegs_read: usize,
+    /// Distinct chunks replayed.
+    pub chunks_replayed: u64,
+    /// Records those chunks carried.
+    pub records_recovered: u64,
+    /// Chunk bytes replayed.
+    pub bytes_replayed: u64,
+    /// Wall-clock duration of the whole recovery.
+    pub duration: Duration,
+}
+
+/// Configuration for a recovery run.
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    pub call_timeout: Duration,
+    /// Max chunk bytes per replay request.
+    pub replay_request_bytes: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self { call_timeout: Duration::from_secs(10), replay_request_bytes: 1 << 20 }
+    }
+}
+
+/// Drives recovery of a crashed broker.
+pub struct RecoveryManager {
+    rpc: RpcClient,
+    coordinator: NodeId,
+    /// All backup services in the cluster (the manager asks each what it
+    /// holds; dead ones are skipped).
+    backups: Vec<NodeId>,
+    cfg: RecoveryConfig,
+}
+
+/// One recovered chunk with its ordering key.
+struct RecoveredChunk {
+    stream: StreamId,
+    streamlet: StreamletId,
+    slot: u32,
+    base_offset: u64,
+    records: u32,
+    bytes: Bytes,
+}
+
+impl RecoveryManager {
+    pub fn new(
+        rpc: RpcClient,
+        coordinator: NodeId,
+        backups: Vec<NodeId>,
+        cfg: RecoveryConfig,
+    ) -> Self {
+        Self { rpc, coordinator, backups, cfg }
+    }
+
+    /// Recovers `crashed`: reassign, enumerate, read, replay. Returns a
+    /// report of what was recovered.
+    pub fn recover(&self, crashed: NodeId) -> Result<RecoveryReport> {
+        let started = Instant::now();
+
+        // 1. Reassignment.
+        let resp = self.rpc.call(
+            self.coordinator,
+            OpCode::ReportCrash,
+            ReportCrashRequest { node: crashed }.encode(),
+            self.cfg.call_timeout,
+        )?;
+        let reassignments = CrashReassignmentResponse::decode(&resp)?;
+        let new_owner: HashMap<(StreamId, StreamletId), NodeId> = reassignments
+            .reassignments
+            .iter()
+            .map(|r| ((r.stream, r.streamlet), r.new_broker))
+            .collect();
+
+        // 2. Enumerate all backups; pick one source per virtual segment,
+        //    rotating across backups for parallel reads.
+        let mut source_of: HashMap<(u32, u64), (NodeId, u32)> = HashMap::new();
+        for &backup in &self.backups {
+            let Ok(payload) = self.rpc.call(
+                backup,
+                OpCode::RecoveryEnumerate,
+                RecoveryEnumerateRequest { crashed_broker: crashed }.encode(),
+                self.cfg.call_timeout,
+            ) else {
+                continue; // backup died with the broker
+            };
+            let listing = RecoveryEnumerateResponse::decode(&payload)?;
+            for seg in listing.segments {
+                // Prefer the copy with the most bytes (an in-flight batch
+                // may have reached only some backups).
+                let key = (seg.vlog.raw(), seg.vseg.raw());
+                match source_of.get(&key) {
+                    Some((_, len)) if *len >= seg.len => {}
+                    _ => {
+                        source_of.insert(key, (backup, seg.len));
+                    }
+                }
+            }
+        }
+
+        // 3. Read the segments in parallel (one thread per backup) and
+        //    collect chunks.
+        let mut per_backup: HashMap<NodeId, Vec<(u32, u64)>> = HashMap::new();
+        for (&key, &(backup, _)) in &source_of {
+            per_backup.entry(backup).or_default().push(key);
+        }
+        let vsegs_read = source_of.len();
+        let mut meta_cache: HashMap<StreamId, StreamMetadata> = HashMap::new();
+        let chunks: Vec<RecoveredChunk> = {
+            let results: Vec<Result<Vec<Bytes>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = per_backup
+                    .iter()
+                    .map(|(&backup, keys)| {
+                        let rpc = self.rpc.clone();
+                        let timeout = self.cfg.call_timeout;
+                        scope.spawn(move || -> Result<Vec<Bytes>> {
+                            let mut out = Vec::with_capacity(keys.len());
+                            for &(vlog, vseg) in keys {
+                                let payload = rpc.call(
+                                    backup,
+                                    OpCode::RecoveryRead,
+                                    RecoveryReadRequest {
+                                        crashed_broker: crashed,
+                                        vlog: kera_common::ids::VirtualLogId(vlog),
+                                        vseg: kera_common::ids::VirtualSegmentId(vseg),
+                                    }
+                                    .encode(),
+                                    timeout,
+                                )?;
+                                out.push(payload);
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("recovery reader panicked")).collect()
+            });
+            let mut chunks = Vec::new();
+            for segments in results {
+                for seg_bytes in segments? {
+                    for chunk in ChunkIter::new(&seg_bytes) {
+                        let chunk = chunk?;
+                        chunk.verify()?; // end-to-end integrity at recovery
+                        let h = chunk.header();
+                        if !h.is_assigned() {
+                            return Err(KeraError::Recovery(
+                                "backup held an unassigned chunk".into(),
+                            ));
+                        }
+                        if !meta_cache.contains_key(&h.stream) {
+                            let payload = self.rpc.call(
+                                self.coordinator,
+                                OpCode::GetMetadata,
+                                GetMetadataRequest { stream: h.stream }.encode(),
+                                self.cfg.call_timeout,
+                            )?;
+                            meta_cache.insert(h.stream, StreamMetadata::decode(&payload)?);
+                        }
+                        let md = &meta_cache[&h.stream];
+                        let q = md.config.active_groups.max(1);
+                        chunks.push(RecoveredChunk {
+                            stream: h.stream,
+                            streamlet: h.streamlet,
+                            slot: h.group % q,
+                            base_offset: h.base_offset,
+                            records: h.record_count,
+                            bytes: Bytes::copy_from_slice(chunk.bytes()),
+                        });
+                    }
+                }
+            }
+            chunks
+        };
+
+        // 4. Order per (stream, streamlet, slot) by base offset and
+        //    replay into the new owners — sequentially per owner (to
+        //    preserve per-slot order), in parallel across owners.
+        let mut per_owner: HashMap<NodeId, Vec<RecoveredChunk>> = HashMap::new();
+        let mut chunks_replayed = 0u64;
+        let mut records_recovered = 0u64;
+        let mut bytes_replayed = 0u64;
+        for c in chunks {
+            let owner =
+                new_owner.get(&(c.stream, c.streamlet)).copied().ok_or_else(|| {
+                    KeraError::Recovery(format!(
+                        "no new owner for {}/{}",
+                        c.stream, c.streamlet
+                    ))
+                })?;
+            chunks_replayed += 1;
+            records_recovered += u64::from(c.records);
+            bytes_replayed += c.bytes.len() as u64;
+            per_owner.entry(owner).or_default().push(c);
+        }
+        let replay_bytes = self.cfg.replay_request_bytes;
+        let timeout = self.cfg.call_timeout;
+        let results: Vec<Result<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = per_owner
+                .into_iter()
+                .map(|(owner, mut chunks)| {
+                    let rpc = self.rpc.clone();
+                    scope.spawn(move || -> Result<()> {
+                        chunks.sort_by_key(|c| {
+                            (c.stream, c.streamlet, c.slot, c.base_offset)
+                        });
+                        let mut i = 0;
+                        while i < chunks.len() {
+                            let mut body = Vec::new();
+                            let mut count = 0u32;
+                            while i < chunks.len()
+                                && (count == 0 || body.len() + chunks[i].bytes.len() <= replay_bytes)
+                            {
+                                body.extend_from_slice(&chunks[i].bytes);
+                                count += 1;
+                                i += 1;
+                            }
+                            let req = ProduceRequest {
+                                producer: RECOVERY_PRODUCER,
+                                recovery: true,
+                                chunk_count: count,
+                                chunks: Bytes::from(body),
+                            };
+                            let payload =
+                                rpc.call(owner, OpCode::RecoveryIngest, req.encode(), timeout)?;
+                            let resp = ProduceResponse::decode(&payload)?;
+                            if resp.acks.len() as u32 != count {
+                                return Err(KeraError::Recovery(format!(
+                                    "owner {owner} acked {} of {count} chunks",
+                                    resp.acks.len()
+                                )));
+                            }
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("replay thread panicked")).collect()
+        });
+        for r in results {
+            r?;
+        }
+
+        Ok(RecoveryReport {
+            reassigned_streamlets: new_owner.len(),
+            vsegs_read,
+            chunks_replayed,
+            records_recovered,
+            bytes_replayed,
+            duration: started.elapsed(),
+        })
+    }
+}
+
+/// Convenience: an `Arc`-wrapped manager for multi-threaded drivers.
+pub type SharedRecoveryManager = Arc<RecoveryManager>;

@@ -1,0 +1,30 @@
+//! The transport abstraction.
+//!
+//! A transport delivers whole [`Envelope`]s between nodes identified by
+//! [`NodeId`]. Delivery is reliable and ordered per link while both ends
+//! are alive (the in-memory transport uses FIFO channels; TCP is TCP);
+//! when the peer is gone, sends fail with [`KeraError::Disconnected`].
+
+use std::time::Duration;
+
+use kera_common::ids::NodeId;
+use kera_common::Result;
+use kera_wire::frames::Envelope;
+
+/// A node's connection to the cluster fabric.
+pub trait Transport: Send + Sync + 'static {
+    /// This node's address.
+    fn local(&self) -> NodeId;
+
+    /// Sends `env` to `to`. Blocks only for the (optional) simulated
+    /// serialization delay; delivery is asynchronous.
+    fn send(&self, to: NodeId, env: Envelope) -> Result<()>;
+
+    /// Receives the next envelope addressed to this node, waiting up to
+    /// `timeout`. Returns `Ok(None)` on timeout and `Err` once the
+    /// transport is closed.
+    fn recv(&self, timeout: Duration) -> Result<Option<Envelope>>;
+
+    /// Closes the receiving side, waking any blocked `recv`.
+    fn close(&self);
+}

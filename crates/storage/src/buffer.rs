@@ -1,0 +1,230 @@
+//! A single-writer, multi-reader publication buffer.
+//!
+//! This is the memory-ordering core of every segment: one writer (the
+//! append path, serialized by its group's slot lock) copies bytes into the
+//! unpublished tail and then *publishes* them by advancing the head with a
+//! release store; any number of readers (consumers, the replication
+//! batcher, the disk flusher) acquire-load the head and may read everything
+//! below it without further synchronization.
+//!
+//! Why not `RwLock<Vec<u8>>`? Because readers would then contend with the
+//! hot append path; the paper's design keeps consumers pulling "without
+//! additional copies" while producers append — a classic single-writer
+//! publication protocol (cf. *Rust Atomics and Locks*, ch. 3: release /
+//! acquire publication).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Fixed-capacity append-only byte buffer with atomic publication.
+pub struct AppendBuffer {
+    data: Box<[UnsafeCell<u8>]>,
+    /// Bytes published (readable). Only ever advanced by the single
+    /// writer with `Release`; readers load with `Acquire`.
+    head: AtomicUsize,
+}
+
+// SAFETY: concurrent access is governed by the publication protocol:
+// - the (unique) writer only mutates bytes at indices >= head, which no
+//   reader may touch until the subsequent release-store of `head`;
+// - readers only read indices < head after an acquire-load of `head`,
+//   which happens-after the writer's copies by release/acquire ordering;
+// - published bytes are never mutated again (append-only).
+// The *uniqueness* of the writer is a precondition of `append_with`
+// (enforced by callers holding their slot/replication lock), documented
+// there.
+unsafe impl Send for AppendBuffer {}
+unsafe impl Sync for AppendBuffer {}
+
+impl AppendBuffer {
+    pub fn new(capacity: usize) -> Self {
+        let data: Box<[UnsafeCell<u8>]> =
+            (0..capacity).map(|_| UnsafeCell::new(0)).collect();
+        Self { data, head: AtomicUsize::new(0) }
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bytes currently published.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.head.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remaining unpublished capacity.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.capacity() - self.len()
+    }
+
+    /// Appends `len` bytes produced by `fill`, which receives the
+    /// zero-initialized destination slice and may both write and patch it
+    /// (chunk header assignment happens here). Returns the offset of the
+    /// appended region, or `None` if it does not fit.
+    ///
+    /// # Single-writer requirement
+    ///
+    /// Callers must guarantee at most one thread executes `append_with` on
+    /// this buffer at a time (every call site holds the owning slot's or
+    /// virtual segment's mutex). Readers are unrestricted.
+    pub fn append_with(&self, len: usize, fill: impl FnOnce(&mut [u8])) -> Option<usize> {
+        let offset = self.head.load(Ordering::Relaxed);
+        if offset + len > self.capacity() {
+            return None;
+        }
+        if len == 0 {
+            return Some(offset);
+        }
+        // SAFETY: [offset, offset+len) is unpublished; per the
+        // single-writer precondition no other thread writes it, and no
+        // reader reads it until the release-store below.
+        let dst = unsafe {
+            std::slice::from_raw_parts_mut(self.data[offset].get(), len)
+        };
+        fill(dst);
+        self.head.store(offset + len, Ordering::Release);
+        Some(offset)
+    }
+
+    /// Convenience: append a byte slice.
+    pub fn append(&self, bytes: &[u8]) -> Option<usize> {
+        self.append_with(bytes.len(), |dst| dst.copy_from_slice(bytes))
+    }
+
+    /// Reads the published range `[offset, offset + len)`.
+    ///
+    /// Panics if the range is not fully published — that is a logic error
+    /// (readers must derive ranges from `len()` or a durable head that is
+    /// `<= len()`).
+    pub fn read(&self, offset: usize, len: usize) -> &[u8] {
+        let published = self.len();
+        assert!(
+            offset + len <= published,
+            "read [{offset}, {}) beyond published head {published}",
+            offset + len
+        );
+        if len == 0 {
+            return &[];
+        }
+        // SAFETY: the range is fully below the acquire-loaded head, so all
+        // writes to it happen-before this read and it will never be
+        // mutated again.
+        unsafe { std::slice::from_raw_parts(self.data[offset].get(), len) }
+    }
+
+    /// The whole published prefix.
+    pub fn published(&self) -> &[u8] {
+        let len = self.len();
+        self.read(0, len)
+    }
+}
+
+impl std::fmt::Debug for AppendBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppendBuffer")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn append_and_read() {
+        let b = AppendBuffer::new(64);
+        assert_eq!(b.append(b"hello"), Some(0));
+        assert_eq!(b.append(b"world"), Some(5));
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.read(0, 5), b"hello");
+        assert_eq!(b.read(5, 5), b"world");
+        assert_eq!(b.published(), b"helloworld");
+    }
+
+    #[test]
+    fn rejects_overflow_without_partial_write() {
+        let b = AppendBuffer::new(8);
+        assert_eq!(b.append(b"12345678"), Some(0));
+        assert_eq!(b.append(b"x"), None);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn append_with_allows_patching() {
+        let b = AppendBuffer::new(32);
+        b.append_with(8, |dst| {
+            dst.copy_from_slice(b"AAAABBBB");
+            dst[0] = b'Z'; // patch before publication
+        })
+        .unwrap();
+        assert_eq!(b.read(0, 8), b"ZAAABBBB");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond published head")]
+    fn reading_unpublished_panics() {
+        let b = AppendBuffer::new(16);
+        b.append(b"abc").unwrap();
+        let _ = b.read(0, 4);
+    }
+
+    #[test]
+    fn concurrent_readers_see_complete_appends() {
+        // One writer appends 4-byte records whose bytes all equal their
+        // sequence number; readers continually validate that every
+        // published record is internally consistent (no torn reads).
+        let b = Arc::new(AppendBuffer::new(4 * 1024));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let len = b.len();
+                        let data = b.read(0, len);
+                        for (i, rec) in data.chunks_exact(4).enumerate() {
+                            let expect = (i % 251) as u8;
+                            assert!(
+                                rec.iter().all(|&x| x == expect),
+                                "torn read at record {i}: {rec:?}"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for i in 0..1024 {
+            let v = (i % 251) as u8;
+            b.append(&[v; 4]).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(b.len(), 4096);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_buffer() {
+        let b = AppendBuffer::new(0);
+        assert_eq!(b.append(b""), Some(0));
+        assert_eq!(b.append(b"x"), None);
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Groups of segments — KerA's fixed-size sub-partitions (paper §IV-A,
+//! Fig. 4).
+//!
+//! "To reduce the metadata necessary to describe the unbounded set of
+//! segments of a stream, we further logically assemble a configurable
+//! number of segments into a group." A group owns a bounded chain of
+//! segments; exactly one segment is open for appends, previous ones are
+//! sealed. Once the group holds its configured number of full segments it
+//! is *closed* and a new group continues the slot's chain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use kera_common::ids::{GroupRef, SegmentId};
+use parking_lot::RwLock;
+
+use crate::segment::{Segment, SegmentAppend};
+
+/// A bounded chain of segments.
+pub struct Group {
+    gref: GroupRef,
+    segment_size: usize,
+    max_segments: u32,
+    segments: RwLock<Vec<Arc<Segment>>>,
+    closed: AtomicBool,
+}
+
+/// Where a chunk landed inside a group.
+#[derive(Clone, Debug)]
+pub struct GroupAppend {
+    pub segment: Arc<Segment>,
+    /// Index of the segment within the group (== its [`SegmentId`] raw).
+    pub segment_index: u32,
+    pub at: SegmentAppend,
+}
+
+impl Group {
+    pub fn new(gref: GroupRef, segment_size: usize, max_segments: u32) -> Self {
+        assert!(max_segments >= 1);
+        let first = Arc::new(Segment::new(gref, SegmentId(0), segment_size));
+        Self {
+            gref,
+            segment_size,
+            max_segments,
+            segments: RwLock::new(vec![first]),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    pub fn gref(&self) -> GroupRef {
+        self.gref
+    }
+
+    #[inline]
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Number of segments created so far.
+    pub fn segment_count(&self) -> u32 {
+        self.segments.read().len() as u32
+    }
+
+    /// Segment at `index`, if it exists.
+    pub fn segment(&self, index: u32) -> Option<Arc<Segment>> {
+        self.segments.read().get(index as usize).cloned()
+    }
+
+    /// The currently open (last) segment.
+    pub fn open_segment(&self) -> Arc<Segment> {
+        self.segments.read().last().cloned().expect("group always has a segment")
+    }
+
+    /// Appends a chunk, rolling to a new segment if the open one is full.
+    /// Returns `None` when the group is closed or becomes closed because
+    /// its last segment cannot take the chunk (caller then moves to the
+    /// next group in the chain).
+    ///
+    /// Must be called under the owning slot's lock (single writer per
+    /// group).
+    pub fn append_chunk(&self, chunk: &[u8], base_offset: u64) -> Option<GroupAppend> {
+        if self.is_closed() {
+            return None;
+        }
+        loop {
+            let (segment, index) = {
+                let guard = self.segments.read();
+                (Arc::clone(guard.last().unwrap()), guard.len() as u32 - 1)
+            };
+            if let Some(at) = segment.append_chunk(chunk, base_offset) {
+                return Some(GroupAppend { segment, segment_index: index, at });
+            }
+            // The open segment is full (or was sealed): roll or close.
+            segment.seal();
+            let mut guard = self.segments.write();
+            if self.is_closed() {
+                return None; // closed concurrently (deletion/recovery)
+            }
+            if guard.len() as u32 >= self.max_segments {
+                self.closed.store(true, Ordering::Release);
+                return None;
+            }
+            let id = SegmentId(guard.len() as u32);
+            guard.push(Arc::new(Segment::new(self.gref, id, self.segment_size)));
+        }
+    }
+
+    /// Force-closes the group (stream deletion, recovery cut-over).
+    pub fn close(&self) {
+        self.open_segment().seal();
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Total published bytes across segments.
+    pub fn total_bytes(&self) -> usize {
+        self.segments.read().iter().map(|s| s.head()).sum()
+    }
+
+    /// Total durable bytes across segments.
+    pub fn durable_bytes(&self) -> usize {
+        self.segments.read().iter().map(|s| s.durable_head()).sum()
+    }
+}
+
+impl std::fmt::Debug for Group {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Group")
+            .field("gref", &self.gref)
+            .field("segments", &self.segment_count())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kera_common::ids::{GroupId, ProducerId, StreamId, StreamletId};
+    use kera_wire::chunk::ChunkBuilder;
+    use kera_wire::record::Record;
+
+    fn gref() -> GroupRef {
+        GroupRef::new(StreamId(1), StreamletId(0), GroupId(0))
+    }
+
+    fn chunk_of(len_payload: usize) -> bytes::Bytes {
+        let mut b = ChunkBuilder::new(64 * 1024, ProducerId(0), StreamId(1), StreamletId(0));
+        let payload = vec![1u8; len_payload];
+        b.append(&Record::value_only(&payload));
+        b.seal()
+    }
+
+    #[test]
+    fn appends_roll_segments() {
+        let c = chunk_of(100);
+        // Room for exactly 2 chunks per segment.
+        let g = Group::new(gref(), c.len() * 2, 4);
+        let mut seg_indices = Vec::new();
+        for i in 0..8 {
+            let a = g.append_chunk(&c, i).unwrap();
+            seg_indices.push(a.segment_index);
+        }
+        assert_eq!(seg_indices, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(g.segment_count(), 4);
+        assert!(!g.is_closed());
+        // Ninth chunk closes the group.
+        assert!(g.append_chunk(&c, 8).is_none());
+        assert!(g.is_closed());
+    }
+
+    #[test]
+    fn closed_group_rejects_appends() {
+        let c = chunk_of(10);
+        let g = Group::new(gref(), 1 << 16, 2);
+        g.append_chunk(&c, 0).unwrap();
+        g.close();
+        assert!(g.append_chunk(&c, 1).is_none());
+        assert!(g.open_segment().is_sealed());
+    }
+
+    #[test]
+    fn sealed_previous_segments() {
+        let c = chunk_of(200);
+        let g = Group::new(gref(), c.len(), 3);
+        g.append_chunk(&c, 0).unwrap();
+        g.append_chunk(&c, 1).unwrap();
+        assert!(g.segment(0).unwrap().is_sealed());
+        assert!(!g.segment(1).unwrap().is_sealed());
+        assert!(g.segment(5).is_none());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let c = chunk_of(64);
+        let g = Group::new(gref(), 1 << 16, 2);
+        g.append_chunk(&c, 0).unwrap();
+        g.append_chunk(&c, 1).unwrap();
+        assert_eq!(g.total_bytes(), 2 * c.len());
+        assert_eq!(g.durable_bytes(), 0);
+        g.open_segment().make_all_durable();
+        assert_eq!(g.durable_bytes(), 2 * c.len());
+    }
+
+    #[test]
+    fn oversized_chunk_closes_group_rather_than_looping() {
+        let c = chunk_of(1000);
+        let g = Group::new(gref(), 256, 2); // chunk never fits a segment
+        assert!(g.append_chunk(&c, 0).is_none());
+        assert!(g.is_closed());
+    }
+}

@@ -1,0 +1,142 @@
+//! Lightweight offset indexing (paper §IV: KerA's second core idea,
+//! "lightweight offset indexing (i.e., reduced stream offset management
+//! overhead) optimized for sequential record access").
+//!
+//! One entry per *chunk* (not per record): the chunk's base record
+//! offset and its physical coordinates within the slot's group chain.
+//! Appends push one 24-byte entry under the slot lock; offset lookups
+//! binary-search to the covering chunk and return a [`SlotCursor`] at
+//! its boundary — the consumer then skips records inside the chunk
+//! client-side. This is exactly the "reduced offset management" the
+//! paper describes: no per-record index, sequential reads never consult
+//! the index at all.
+
+use kera_wire::cursor::SlotCursor;
+
+/// One chunk's index entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Logical offset of the chunk's first record within the slot.
+    pub base_offset: u64,
+    /// Chain index of the group holding the chunk.
+    pub chain: u32,
+    /// Segment index within the group.
+    pub segment: u32,
+    /// Byte offset of the chunk within the segment.
+    pub byte_offset: u32,
+}
+
+impl IndexEntry {
+    pub fn cursor(&self) -> SlotCursor {
+        SlotCursor { chain: self.chain, segment: self.segment, offset: self.byte_offset }
+    }
+}
+
+/// Per-slot chunk index: append-only, ordered by `base_offset`.
+#[derive(Debug, Default)]
+pub struct OffsetIndex {
+    entries: Vec<IndexEntry>,
+}
+
+impl OffsetIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Index memory in bytes (the "lightweight" claim, testable).
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<IndexEntry>()
+    }
+
+    /// Records a chunk append. `base_offset` must be non-decreasing
+    /// (appends are serialized by the slot lock).
+    pub fn push(&mut self, entry: IndexEntry) {
+        debug_assert!(
+            self.entries.last().map(|e| e.base_offset <= entry.base_offset).unwrap_or(true),
+            "offset index must be appended in order"
+        );
+        self.entries.push(entry);
+    }
+
+    /// Cursor of the chunk covering `record_offset`: the last entry with
+    /// `base_offset <= record_offset`. Returns `None` when the offset
+    /// precedes all data (empty index) — the caller starts at
+    /// [`SlotCursor::START`] — and clamps beyond-the-end offsets to the
+    /// final chunk (the consumer then reads to the tail and waits).
+    pub fn seek(&self, record_offset: u64) -> Option<IndexEntry> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        // partition_point: first entry with base_offset > record_offset.
+        let idx = self.entries.partition_point(|e| e.base_offset <= record_offset);
+        if idx == 0 {
+            // Offset precedes the first chunk: start at the beginning.
+            return Some(self.entries[0]);
+        }
+        Some(self.entries[idx - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(base: u64, chain: u32, segment: u32, byte: u32) -> IndexEntry {
+        IndexEntry { base_offset: base, chain, segment, byte_offset: byte }
+    }
+
+    #[test]
+    fn seek_finds_covering_chunk() {
+        let mut ix = OffsetIndex::new();
+        ix.push(entry(0, 0, 0, 0));
+        ix.push(entry(10, 0, 0, 500));
+        ix.push(entry(20, 0, 1, 0));
+        ix.push(entry(30, 1, 0, 0));
+
+        assert_eq!(ix.seek(0).unwrap().base_offset, 0);
+        assert_eq!(ix.seek(9).unwrap().base_offset, 0);
+        assert_eq!(ix.seek(10).unwrap().base_offset, 10);
+        assert_eq!(ix.seek(19).unwrap().base_offset, 10);
+        assert_eq!(ix.seek(25).unwrap().cursor(), SlotCursor { chain: 0, segment: 1, offset: 0 });
+        assert_eq!(ix.seek(35).unwrap().cursor(), SlotCursor { chain: 1, segment: 0, offset: 0 });
+        // Beyond the end clamps to the last chunk.
+        assert_eq!(ix.seek(1_000_000).unwrap().base_offset, 30);
+    }
+
+    #[test]
+    fn empty_index_returns_none() {
+        assert!(OffsetIndex::new().seek(0).is_none());
+    }
+
+    #[test]
+    fn memory_is_one_small_entry_per_chunk() {
+        let mut ix = OffsetIndex::new();
+        for i in 0..1000 {
+            ix.push(entry(i * 10, 0, 0, (i * 100) as u32));
+        }
+        assert_eq!(ix.len(), 1000);
+        // One entry per chunk, 24 bytes each (u64 + 3×u32, padded): a
+        // 16 KB chunk carries 0.15% index overhead.
+        assert_eq!(ix.memory_bytes(), 1000 * std::mem::size_of::<IndexEntry>());
+        assert_eq!(std::mem::size_of::<IndexEntry>(), 24);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "appended in order")]
+    fn out_of_order_push_is_rejected_in_debug() {
+        let mut ix = OffsetIndex::new();
+        ix.push(entry(10, 0, 0, 0));
+        ix.push(entry(5, 0, 0, 100));
+    }
+}

@@ -1,0 +1,25 @@
+//! Log-structured storage: the physical side of KerA's data model
+//! (paper §IV-A, Figs. 3–4).
+//!
+//! - [`buffer`] — a single-writer, multi-reader *publication buffer*: the
+//!   lock-free core that segments are built on;
+//! - [`segment`] — fixed-size in-memory segments with a published head and
+//!   a durable head (what consumers may read);
+//! - [`group`] — bounded chains of segments ("groups of segments", the
+//!   fixed-size sub-partitions);
+//! - [`index`] — lightweight per-chunk offset indexing (seek a slot by
+//!   logical record offset — KerA's second core idea);
+//! - [`streamlet`] — KerA's logical partition: `Q` active group slots for
+//!   parallel appends plus the closed-group history;
+//! - [`store`] — the broker-side stream store mapping stream ids to hosted
+//!   streamlets, with the produce-path append and the fetch-path read;
+//! - [`flush`] — the asynchronous secondary-storage flusher (same format
+//!   on disk and in memory, as the paper requires).
+
+pub mod buffer;
+pub mod flush;
+pub mod group;
+pub mod index;
+pub mod segment;
+pub mod store;
+pub mod streamlet;

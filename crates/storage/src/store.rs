@@ -1,0 +1,232 @@
+//! The broker-side stream store: every stream (and streamlet) hosted on
+//! one broker.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use kera_common::config::StreamConfig;
+use kera_common::ids::{ProducerId, StreamId, StreamletId};
+use kera_common::{KeraError, Result};
+use kera_wire::cursor::SlotCursor;
+use kera_wire::messages::StreamMetadata;
+use parking_lot::RwLock;
+
+use crate::streamlet::{Streamlet, StreamletAppend};
+
+/// A stream as seen by one broker: its metadata plus the streamlets this
+/// broker leads.
+pub struct HostedStream {
+    pub metadata: StreamMetadata,
+    streamlets: RwLock<HashMap<StreamletId, Arc<Streamlet>>>,
+}
+
+impl HostedStream {
+    pub fn new(metadata: StreamMetadata) -> Self {
+        Self { metadata, streamlets: RwLock::new(HashMap::new()) }
+    }
+
+    pub fn config(&self) -> &StreamConfig {
+        &self.metadata.config
+    }
+
+    pub fn host_streamlet(&self, id: StreamletId) -> Arc<Streamlet> {
+        let mut guard = self.streamlets.write();
+        Arc::clone(
+            guard
+                .entry(id)
+                .or_insert_with(|| Arc::new(Streamlet::new(self.metadata.config.id, id, &self.metadata.config))),
+        )
+    }
+
+    pub fn streamlet(&self, id: StreamletId) -> Option<Arc<Streamlet>> {
+        self.streamlets.read().get(&id).cloned()
+    }
+
+    pub fn streamlet_ids(&self) -> Vec<StreamletId> {
+        let mut ids: Vec<_> = self.streamlets.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// All streams hosted on one broker.
+#[derive(Default)]
+pub struct StreamStore {
+    streams: RwLock<HashMap<StreamId, Arc<HostedStream>>>,
+}
+
+impl StreamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a stream on this broker and hosts the given streamlets.
+    /// Idempotent per streamlet (re-hosting is a no-op).
+    pub fn host(&self, metadata: StreamMetadata, streamlets: &[StreamletId]) -> Arc<HostedStream> {
+        let stream_id = metadata.config.id;
+        let hosted = {
+            let mut guard = self.streams.write();
+            Arc::clone(guard.entry(stream_id).or_insert_with(|| Arc::new(HostedStream::new(metadata))))
+        };
+        for &sid in streamlets {
+            hosted.host_streamlet(sid);
+        }
+        hosted
+    }
+
+    pub fn stream(&self, id: StreamId) -> Result<Arc<HostedStream>> {
+        self.streams.read().get(&id).cloned().ok_or(KeraError::UnknownStream(id))
+    }
+
+    pub fn streamlet(&self, stream: StreamId, streamlet: StreamletId) -> Result<Arc<Streamlet>> {
+        self.stream(stream)?
+            .streamlet(streamlet)
+            .ok_or(KeraError::UnknownStreamlet(stream, streamlet))
+    }
+
+    /// Removes a stream from this broker, closing every group so
+    /// concurrent appends fail cleanly. Returns whether it was hosted.
+    pub fn remove(&self, id: StreamId) -> bool {
+        let removed = self.streams.write().remove(&id);
+        match removed {
+            Some(hosted) => {
+                for sid in hosted.streamlet_ids() {
+                    if let Some(sl) = hosted.streamlet(sid) {
+                        sl.close_all_groups();
+                    }
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn stream_ids(&self) -> Vec<StreamId> {
+        let mut ids: Vec<_> = self.streams.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Produce-path append: route a serialized chunk to its streamlet.
+    pub fn append_chunk(
+        &self,
+        producer: ProducerId,
+        stream: StreamId,
+        streamlet: StreamletId,
+        chunk: &[u8],
+        records: u32,
+    ) -> Result<(Arc<Streamlet>, StreamletAppend)> {
+        let s = self.streamlet(stream, streamlet)?;
+        let a = s.append_chunk(producer, chunk, records)?;
+        Ok((s, a))
+    }
+
+    /// Fetch-path read.
+    pub fn read_slot(
+        &self,
+        stream: StreamId,
+        streamlet: StreamletId,
+        slot: u32,
+        cursor: SlotCursor,
+        max_bytes: usize,
+    ) -> Result<(Vec<u8>, SlotCursor)> {
+        let s = self.streamlet(stream, streamlet)?;
+        Ok(s.read_slot(slot, cursor, max_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kera_common::config::ReplicationConfig;
+    use kera_common::ids::NodeId;
+    use kera_wire::chunk::ChunkBuilder;
+    use kera_wire::messages::StreamletPlacement;
+    use kera_wire::record::Record;
+
+    fn metadata(stream: u32, streamlets: u32) -> StreamMetadata {
+        StreamMetadata {
+            config: StreamConfig {
+                id: StreamId(stream),
+                streamlets,
+                active_groups: 2,
+                segments_per_group: 4,
+                segment_size: 1 << 16,
+                replication: ReplicationConfig::default(),
+            },
+            placements: (0..streamlets)
+                .map(|i| StreamletPlacement {
+                    streamlet: StreamletId(i),
+                    broker: NodeId(1 + i % 2),
+                })
+                .collect(),
+        }
+    }
+
+    fn chunk(stream: u32, streamlet: u32) -> bytes::Bytes {
+        let mut b =
+            ChunkBuilder::new(4096, ProducerId(3), StreamId(stream), StreamletId(streamlet));
+        b.append(&Record::value_only(b"data"));
+        b.seal()
+    }
+
+    #[test]
+    fn host_and_lookup() {
+        let store = StreamStore::new();
+        store.host(metadata(1, 4), &[StreamletId(0), StreamletId(2)]);
+        assert!(store.stream(StreamId(1)).is_ok());
+        assert!(store.streamlet(StreamId(1), StreamletId(0)).is_ok());
+        assert!(store.streamlet(StreamId(1), StreamletId(2)).is_ok());
+        // Not hosted here:
+        assert!(matches!(
+            store.streamlet(StreamId(1), StreamletId(1)),
+            Err(KeraError::UnknownStreamlet(_, _))
+        ));
+        assert!(matches!(store.stream(StreamId(9)), Err(KeraError::UnknownStream(_))));
+    }
+
+    #[test]
+    fn hosting_is_idempotent() {
+        let store = StreamStore::new();
+        let h1 = store.host(metadata(1, 2), &[StreamletId(0)]);
+        let s1 = h1.streamlet(StreamletId(0)).unwrap();
+        let h2 = store.host(metadata(1, 2), &[StreamletId(0), StreamletId(1)]);
+        let s2 = h2.streamlet(StreamletId(0)).unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2), "re-hosting must not reset a streamlet");
+        assert_eq!(store.stream_ids(), vec![StreamId(1)]);
+        assert_eq!(h2.streamlet_ids(), vec![StreamletId(0), StreamletId(1)]);
+    }
+
+    #[test]
+    fn append_routes_to_streamlet() {
+        let store = StreamStore::new();
+        store.host(metadata(1, 2), &[StreamletId(1)]);
+        let c = chunk(1, 1);
+        let (_s, a) = store
+            .append_chunk(ProducerId(3), StreamId(1), StreamletId(1), &c, 1)
+            .unwrap();
+        assert_eq!(a.gref.stream, StreamId(1));
+        assert_eq!(a.gref.streamlet, StreamletId(1));
+        assert_eq!(a.records, 1);
+        // Wrong streamlet errors.
+        assert!(store
+            .append_chunk(ProducerId(3), StreamId(1), StreamletId(0), &c, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn read_after_durable_append() {
+        let store = StreamStore::new();
+        store.host(metadata(1, 1), &[StreamletId(0)]);
+        let c = chunk(1, 0);
+        let (s, a) = store
+            .append_chunk(ProducerId(3), StreamId(1), StreamletId(0), &c, 1)
+            .unwrap();
+        a.segment.make_all_durable();
+        let slot = s.slot_of(ProducerId(3));
+        let (data, _) = store
+            .read_slot(StreamId(1), StreamletId(0), slot, SlotCursor::START, usize::MAX)
+            .unwrap();
+        assert_eq!(data.len(), c.len());
+    }
+}

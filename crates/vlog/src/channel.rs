@@ -1,0 +1,57 @@
+//! The replication channel abstraction.
+//!
+//! The virtual log is transport-agnostic: it hands fully-formed
+//! [`BackupWriteRequest`]s to a [`BackupChannel`], which `kera-broker`
+//! implements over the RPC stack (fanning one request out to all the
+//! virtual segment's backups in parallel). Tests use [`MockChannel`].
+
+use kera_common::ids::NodeId;
+use kera_common::Result;
+use kera_wire::messages::{BackupWriteRequest, BackupWriteResponse};
+
+/// Ships replication batches to backups.
+pub trait BackupChannel: Send + Sync + 'static {
+    /// Sends `req` to every node in `backups` **in parallel** and waits
+    /// for all acknowledgements. Returns the response of the slowest
+    /// backup (they must agree on `durable_offset` in a correct run).
+    fn replicate(&self, backups: &[NodeId], req: &BackupWriteRequest)
+        -> Result<BackupWriteResponse>;
+}
+
+/// Test double recording every batch it is asked to replicate.
+#[derive(Default)]
+pub struct MockChannel {
+    pub batches: parking_lot::Mutex<Vec<(Vec<NodeId>, BackupWriteRequest)>>,
+    /// When set, `replicate` fails with this error constructor.
+    pub fail: std::sync::atomic::AtomicBool,
+}
+
+impl MockChannel {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn batch_count(&self) -> usize {
+        self.batches.lock().len()
+    }
+
+    /// Total chunk bytes shipped.
+    pub fn bytes_shipped(&self) -> usize {
+        self.batches.lock().iter().map(|(_, r)| r.chunks.len()).sum()
+    }
+}
+
+impl BackupChannel for MockChannel {
+    fn replicate(
+        &self,
+        backups: &[NodeId],
+        req: &BackupWriteRequest,
+    ) -> Result<BackupWriteResponse> {
+        if self.fail.load(std::sync::atomic::Ordering::Relaxed) {
+            return Err(kera_common::KeraError::Timeout { op: "mock replicate" });
+        }
+        let durable = req.vseg_offset + req.chunks.len() as u32;
+        self.batches.lock().push((backups.to_vec(), req.clone()));
+        Ok(BackupWriteResponse { durable_offset: durable })
+    }
+}

@@ -1,0 +1,164 @@
+//! Backup selection: which backups replicate each virtual segment.
+//!
+//! "When a new virtual segment is opened, a set of distinct backups is
+//! chosen (potentially different from the ones associated to the previous
+//! virtual segment) for replicating in order its associated chunks.
+//! Distributing data to all backups helps at recovery time since data can
+//! be read in parallel from many backups" (paper §III).
+
+use kera_common::ids::NodeId;
+use kera_common::rng::SplitMix64;
+use kera_common::{KeraError, Result};
+
+/// Strategy for spreading virtual segments over the backup fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// Rotate deterministically through the fleet (default: even spread,
+    /// reproducible runs).
+    RoundRobin,
+    /// Uniformly random distinct set per virtual segment (RAMCloud-style).
+    RandomDistinct,
+}
+
+/// Chooses `copies` distinct backups per virtual segment, never the local
+/// node (the broker already holds the active replica).
+pub struct BackupSelector {
+    local: NodeId,
+    candidates: Vec<NodeId>,
+    policy: SelectionPolicy,
+    cursor: usize,
+    rng: SplitMix64,
+}
+
+impl BackupSelector {
+    /// `backups`: every backup service in the cluster (may include the
+    /// local node; it is filtered out).
+    pub fn new(local: NodeId, backups: &[NodeId], policy: SelectionPolicy, seed: u64) -> Self {
+        let candidates: Vec<NodeId> = backups.iter().copied().filter(|&b| b != local).collect();
+        // Stagger the starting point by the (mixed) seed so the many
+        // virtual logs of one broker — and the logs of different brokers —
+        // don't all begin hammering the same backup.
+        let mut rng = SplitMix64::new(seed);
+        let cursor =
+            if candidates.is_empty() { 0 } else { rng.next_u64() as usize % candidates.len() };
+        Self { local, candidates, policy, cursor, rng }
+    }
+
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Picks `copies` distinct backups for the next virtual segment.
+    pub fn select(&mut self, copies: usize) -> Result<Vec<NodeId>> {
+        if copies == 0 {
+            return Ok(Vec::new());
+        }
+        if copies > self.candidates.len() {
+            return Err(KeraError::NoCapacity(format!(
+                "need {copies} backups, only {} available (excluding local {})",
+                self.candidates.len(),
+                self.local
+            )));
+        }
+        match self.policy {
+            SelectionPolicy::RoundRobin => {
+                let n = self.candidates.len();
+                let picks =
+                    (0..copies).map(|i| self.candidates[(self.cursor + i) % n]).collect();
+                self.cursor = (self.cursor + copies) % n;
+                Ok(picks)
+            }
+            SelectionPolicy::RandomDistinct => {
+                let idx = self.rng.choose_distinct(self.candidates.len(), copies);
+                Ok(idx.into_iter().map(|i| self.candidates[i]).collect())
+            }
+        }
+    }
+
+    /// Removes a crashed backup from the candidate set.
+    pub fn remove(&mut self, backup: NodeId) {
+        self.candidates.retain(|&b| b != backup);
+        if !self.candidates.is_empty() {
+            self.cursor %= self.candidates.len();
+        } else {
+            self.cursor = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn never_selects_local() {
+        let mut s = BackupSelector::new(NodeId(1), &nodes(4), SelectionPolicy::RoundRobin, 0);
+        for _ in 0..20 {
+            let picks = s.select(2).unwrap();
+            assert!(!picks.contains(&NodeId(1)));
+        }
+        let mut s = BackupSelector::new(NodeId(1), &nodes(4), SelectionPolicy::RandomDistinct, 7);
+        for _ in 0..20 {
+            let picks = s.select(2).unwrap();
+            assert!(!picks.contains(&NodeId(1)));
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let mut s = BackupSelector::new(NodeId(0), &nodes(4), SelectionPolicy::RoundRobin, 0);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..30 {
+            for b in s.select(2).unwrap() {
+                *counts.entry(b).or_insert(0u32) += 1;
+            }
+        }
+        // 60 picks over 3 candidates = 20 each.
+        assert_eq!(counts.len(), 3);
+        assert!(counts.values().all(|&c| c == 20), "{counts:?}");
+    }
+
+    #[test]
+    fn picks_are_distinct() {
+        for policy in [SelectionPolicy::RoundRobin, SelectionPolicy::RandomDistinct] {
+            let mut s = BackupSelector::new(NodeId(9), &nodes(6), policy, 3);
+            for _ in 0..50 {
+                let picks = s.select(3).unwrap();
+                let set: HashSet<_> = picks.iter().collect();
+                assert_eq!(set.len(), 3, "{policy:?} produced duplicates: {picks:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn insufficient_backups_is_an_error() {
+        let mut s = BackupSelector::new(NodeId(0), &nodes(3), SelectionPolicy::RoundRobin, 0);
+        assert!(s.select(2).is_ok());
+        assert!(matches!(s.select(3), Err(KeraError::NoCapacity(_))));
+    }
+
+    #[test]
+    fn zero_copies_is_empty() {
+        let mut s = BackupSelector::new(NodeId(0), &nodes(1), SelectionPolicy::RoundRobin, 0);
+        assert!(s.select(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn remove_shrinks_candidates() {
+        let mut s = BackupSelector::new(NodeId(0), &nodes(4), SelectionPolicy::RoundRobin, 0);
+        assert_eq!(s.candidate_count(), 3);
+        s.remove(NodeId(2));
+        assert_eq!(s.candidate_count(), 2);
+        for _ in 0..10 {
+            assert!(!s.select(2).unwrap().contains(&NodeId(2)));
+        }
+        s.remove(NodeId(1));
+        s.remove(NodeId(3));
+        assert!(s.select(1).is_err());
+    }
+}

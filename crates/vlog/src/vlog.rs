@@ -1,0 +1,729 @@
+//! The virtual log: one open virtual segment, ordered sealed segments,
+//! and the consolidated replication protocol (paper §III–IV-B).
+//!
+//! ## Replication protocol
+//!
+//! Producers' worker threads call [`VirtualLog::append`] (under the slot
+//! lock of the physical append — see
+//! `kera_storage::streamlet::Streamlet::append_chunk_and_then`) and then
+//! [`VirtualLog::sync`] with the returned ticket. `sync` implements group
+//! commit: exactly one thread at a time becomes the *replicator*, ships
+//! **every** pending chunk reference — across all waiting producers and
+//! all the partitions sharing this log — as one `BackupWrite` RPC per
+//! (virtual segment, backup), and acknowledges everyone whose ticket the
+//! batch covered. Threads that arrive while a batch is in flight wait;
+//! their chunks ride the next batch, which is exactly how the virtual log
+//! "consolidates multiple replication RPCs by replacing small I/Os with
+//! larger ones on backups".
+//!
+//! ## Failure handling
+//!
+//! If a backup dies mid-replication, the affected virtual segments are
+//! re-replicated from offset zero onto a freshly selected backup set
+//! (RAMCloud-style re-replication); producers keep waiting and succeed
+//! once the new set acknowledges. Only when no replacement backups exist
+//! does the log poison itself and fail its producers.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bytes::BytesMut;
+use kera_common::ids::{NodeId, VirtualLogId, VirtualSegmentId};
+use kera_common::metrics::Counter;
+use kera_common::{KeraError, Result};
+use kera_wire::messages::{backup_flags, BackupWriteRequest};
+use parking_lot::{Condvar, Mutex};
+
+use crate::channel::BackupChannel;
+use crate::selector::BackupSelector;
+use crate::vseg::{ChunkRef, VirtualSegment};
+
+struct VsegEntry {
+    vseg: VirtualSegment,
+    /// Cumulative log bytes before this virtual segment.
+    base: u64,
+}
+
+struct LogState {
+    /// Sealed-but-not-fully-replicated segments (front) plus the open
+    /// segment (back).
+    segs: VecDeque<VsegEntry>,
+    selector: BackupSelector,
+    next_vseg_id: u64,
+    /// Total bytes appended to this log (the global header).
+    appended: u64,
+    /// Total bytes durable in log order (the global durable header).
+    durable: u64,
+    /// A replication batch is in flight.
+    replicating: bool,
+    /// Unrecoverable: not enough backups remain.
+    poisoned: bool,
+    /// Bumped on every transient replication failure so waiters can give
+    /// up instead of sleeping forever.
+    error_epoch: u64,
+}
+
+/// One captured replication batch for one virtual segment.
+struct BatchWork {
+    vseg_id: VirtualSegmentId,
+    backups: Vec<NodeId>,
+    vseg_offset: u32,
+    refs: Vec<ChunkRef>,
+    close: bool,
+    checksum: u32,
+}
+
+/// A shared replicated virtual log.
+pub struct VirtualLog {
+    id: VirtualLogId,
+    owner: NodeId,
+    vseg_capacity: usize,
+    /// Backup copies per virtual segment (R − 1).
+    copies: usize,
+    state: Mutex<LogState>,
+    cv: Condvar,
+    /// Set while the log sits in a [`crate::driver::ReplicationDriver`]
+    /// queue (deduplicates enqueues).
+    pub(crate) queued: std::sync::atomic::AtomicBool,
+    /// Replication batches shipped (per backup set, not per backup).
+    pub batches_sent: Counter,
+    /// Chunks replicated (before fan-out to backups).
+    pub chunks_replicated: Counter,
+    /// Chunk bytes replicated (before fan-out).
+    pub bytes_replicated: Counter,
+}
+
+impl VirtualLog {
+    /// Creates the log and opens its first virtual segment.
+    pub fn new(
+        id: VirtualLogId,
+        owner: NodeId,
+        vseg_capacity: usize,
+        copies: usize,
+        mut selector: BackupSelector,
+    ) -> Result<Arc<VirtualLog>> {
+        let backups = selector.select(copies)?;
+        let first = VirtualSegment::new(VirtualSegmentId(0), vseg_capacity, backups);
+        let state = LogState {
+            segs: VecDeque::from([VsegEntry { vseg: first, base: 0 }]),
+            selector,
+            next_vseg_id: 1,
+            appended: 0,
+            durable: 0,
+            replicating: false,
+            poisoned: false,
+            error_epoch: 0,
+        };
+        Ok(Arc::new(VirtualLog {
+            id,
+            owner,
+            vseg_capacity,
+            copies,
+            state: Mutex::new(state),
+            cv: Condvar::new(),
+            queued: std::sync::atomic::AtomicBool::new(false),
+            batches_sent: Counter::new(),
+            chunks_replicated: Counter::new(),
+            bytes_replicated: Counter::new(),
+        }))
+    }
+
+    #[inline]
+    pub fn id(&self) -> VirtualLogId {
+        self.id
+    }
+
+    #[inline]
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Bytes appended so far.
+    pub fn appended(&self) -> u64 {
+        self.state.lock().appended
+    }
+
+    /// Bytes durable so far.
+    pub fn durable(&self) -> u64 {
+        self.state.lock().durable
+    }
+
+    /// Number of virtual segments not yet fully replicated (including the
+    /// open one).
+    pub fn live_vsegs(&self) -> usize {
+        self.state.lock().segs.len()
+    }
+
+    /// Appends a chunk reference; returns the sync *ticket* (the log's
+    /// header after this chunk). Rolls to a fresh virtual segment — with a
+    /// freshly selected backup set — when the open one is (virtually)
+    /// full.
+    pub fn append(&self, r: ChunkRef) -> Result<u64> {
+        let len = r.len as usize;
+        if len > self.vseg_capacity {
+            return Err(KeraError::ChunkTooLarge { chunk: len, segment: self.vseg_capacity });
+        }
+        let mut st = self.state.lock();
+        if st.poisoned {
+            return Err(KeraError::NoCapacity(format!("virtual log {} is poisoned", self.id)));
+        }
+        if !st.segs.back().expect("log always has an open vseg").vseg.fits(len) {
+            let backups = st.selector.select(self.copies)?;
+            let id = VirtualSegmentId(st.next_vseg_id);
+            st.next_vseg_id += 1;
+            st.segs.back_mut().unwrap().vseg.seal();
+            let base = st.appended;
+            st.segs.push_back(VsegEntry {
+                vseg: VirtualSegment::new(id, self.vseg_capacity, backups),
+                base,
+            });
+        }
+        let entry = st.segs.back_mut().unwrap();
+        entry.vseg.append(r);
+        st.appended += len as u64;
+        Ok(st.appended)
+    }
+
+    /// Blocks until every byte up to `ticket` is durable on all backups
+    /// (group commit: one replicator ships everyone's chunks at once).
+    ///
+    /// With `copies == 0` (replication factor 1) this is a no-op; callers
+    /// should instead mark physical segments durable directly.
+    pub fn sync(&self, channel: &dyn BackupChannel, ticket: u64) -> Result<()> {
+        if self.copies == 0 {
+            return Ok(());
+        }
+        let mut st = self.state.lock();
+        loop {
+            if st.durable >= ticket {
+                return Ok(());
+            }
+            if st.poisoned {
+                return Err(KeraError::NoCapacity(format!(
+                    "virtual log {} is poisoned",
+                    self.id
+                )));
+            }
+            if st.replicating {
+                self.cv.wait(&mut st);
+                continue;
+            }
+            // Become the replicator.
+            st.replicating = true;
+            let work = Self::gather(&mut st);
+            drop(st);
+
+            let outcome = self.execute(channel, &work);
+
+            st = self.state.lock();
+            st.replicating = false;
+            match outcome {
+                Ok(()) => {
+                    self.apply_acks(&mut st, &work);
+                    Self::recompute_durable(&mut st);
+                    self.cv.notify_all();
+                }
+                Err(KeraError::Disconnected(dead)) => {
+                    // Backup crash: reselect and re-replicate affected
+                    // virtual segments from scratch.
+                    self.handle_backup_failure(&mut st, dead);
+                    self.cv.notify_all();
+                    // loop: retry (or observe poison)
+                }
+                Err(e) => {
+                    // Transient failure (e.g. timeout): surface to this
+                    // caller; waiters retry with their own rounds.
+                    self.cv.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One asynchronous replication round (driver path): if no round is
+    /// in flight, gathers and ships everything pending. Returns
+    /// `Ok(true)` when more work remains (or another round is in
+    /// flight), `Ok(false)` when the log is fully durable.
+    pub fn ship_once(&self, channel: &dyn BackupChannel) -> Result<bool> {
+        let mut st = self.state.lock();
+        if st.poisoned {
+            return Err(KeraError::NoCapacity(format!("virtual log {} is poisoned", self.id)));
+        }
+        if st.replicating {
+            // Someone else is shipping: nothing for this caller to do.
+            // No wakeup is lost — the in-flight shipper re-enqueues when
+            // work remains, and every new append enqueues the log.
+            return Ok(false);
+        }
+        let work = Self::gather(&mut st);
+        if work.is_empty() {
+            return Ok(false);
+        }
+        st.replicating = true;
+        drop(st);
+
+        let outcome = self.execute(channel, &work);
+
+        let mut st = self.state.lock();
+        st.replicating = false;
+        match outcome {
+            Ok(()) => {
+                self.apply_acks(&mut st, &work);
+                Self::recompute_durable(&mut st);
+                self.cv.notify_all();
+                Ok(st.durable < st.appended
+                    || st.segs.iter().any(|e| e.vseg.needs_replication()))
+            }
+            Err(KeraError::Disconnected(dead)) => {
+                self.handle_backup_failure(&mut st, dead);
+                self.cv.notify_all();
+                if st.poisoned {
+                    Err(KeraError::NoCapacity(format!(
+                        "virtual log {} is poisoned",
+                        self.id
+                    )))
+                } else {
+                    Ok(true) // re-replicate onto the new backup set
+                }
+            }
+            Err(e) => {
+                st.error_epoch += 1;
+                self.cv.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Driver path: blocks until `ticket` is durable, a transient
+    /// replication failure occurs, the log is poisoned, or `timeout`
+    /// elapses. Shipping itself is done by the replication driver.
+    pub fn wait_durable(&self, ticket: u64, timeout: std::time::Duration) -> Result<()> {
+        if self.copies == 0 {
+            return Ok(());
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.state.lock();
+        let epoch = st.error_epoch;
+        loop {
+            if st.durable >= ticket {
+                return Ok(());
+            }
+            if st.poisoned {
+                return Err(KeraError::NoCapacity(format!(
+                    "virtual log {} is poisoned",
+                    self.id
+                )));
+            }
+            if st.error_epoch != epoch {
+                return Err(KeraError::Timeout { op: "replication (transient failure)" });
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(KeraError::Timeout { op: "replication wait" });
+            }
+            self.cv.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Collects, in log order, every unreplicated chunk reference.
+    fn gather(st: &mut LogState) -> Vec<BatchWork> {
+        let mut work = Vec::new();
+        for entry in st.segs.iter() {
+            if !entry.vseg.needs_replication() {
+                continue;
+            }
+            let refs = entry.vseg.unreplicated().to_vec();
+            let close = entry.vseg.is_sealed();
+            work.push(BatchWork {
+                vseg_id: entry.vseg.id(),
+                backups: entry.vseg.backups().to_vec(),
+                vseg_offset: entry.vseg.durable_header() as u32,
+                refs,
+                close,
+                checksum: if close { entry.vseg.checksum() } else { 0 },
+            });
+        }
+        work
+    }
+
+    /// Ships the captured batches. Chunk bytes are copied out of the
+    /// physical segments exactly once, into one request buffer per
+    /// virtual segment, then fanned out to that segment's backups.
+    fn execute(&self, channel: &dyn BackupChannel, work: &[BatchWork]) -> Result<()> {
+        for w in work {
+            let total: usize = w.refs.iter().map(|r| r.len as usize).sum();
+            let mut buf = BytesMut::with_capacity(total);
+            for r in &w.refs {
+                buf.extend_from_slice(r.bytes());
+            }
+            let mut flags = 0u8;
+            if w.vseg_offset == 0 {
+                flags |= backup_flags::OPEN;
+            }
+            if w.close {
+                flags |= backup_flags::CLOSE;
+            }
+            let req = BackupWriteRequest {
+                source_broker: self.owner,
+                vlog: self.id,
+                vseg: w.vseg_id,
+                vseg_offset: w.vseg_offset,
+                flags,
+                vseg_checksum: w.checksum,
+                chunk_count: w.refs.len() as u32,
+                chunks: buf.freeze(),
+            };
+            channel.replicate(&w.backups, &req)?;
+            self.batches_sent.inc();
+            self.chunks_replicated.add(w.refs.len() as u64);
+            self.bytes_replicated.add(total as u64);
+        }
+        Ok(())
+    }
+
+    /// Marks the shipped references durable and advances the physical
+    /// segments' durable heads (in ref order — contiguous per segment).
+    fn apply_acks(&self, st: &mut LogState, work: &[BatchWork]) {
+        for w in work {
+            if let Some(entry) = st.segs.iter_mut().find(|e| e.vseg.id() == w.vseg_id) {
+                let made = entry.vseg.mark_replicated(w.refs.len(), w.close);
+                for r in made {
+                    r.segment.advance_durable(r.end());
+                }
+            }
+        }
+        // Drop fully-replicated sealed segments from the front.
+        while st
+            .segs
+            .front()
+            .map(|e| e.vseg.is_fully_replicated())
+            .unwrap_or(false)
+        {
+            st.segs.pop_front();
+        }
+    }
+
+    fn recompute_durable(st: &mut LogState) {
+        let mut durable = st.appended;
+        for e in &st.segs {
+            if e.vseg.durable_header() < e.vseg.header() {
+                durable = e.base + e.vseg.durable_header() as u64;
+                break;
+            }
+        }
+        st.durable = durable;
+    }
+
+    fn handle_backup_failure(&self, st: &mut LogState, dead: NodeId) {
+        st.selector.remove(dead);
+        let copies = self.copies;
+        let mut poisoned = false;
+        // Preserve `segs` intact; only rewrite backup sets that include
+        // the dead node and rewind their replication progress.
+        let mut new_sets: Vec<(VirtualSegmentId, Option<Vec<NodeId>>)> = Vec::new();
+        for e in st.segs.iter() {
+            if e.vseg.backups().contains(&dead) {
+                new_sets.push((e.vseg.id(), None));
+            }
+        }
+        for (id, slot) in new_sets.iter_mut() {
+            match st.selector.select(copies) {
+                Ok(set) => *slot = Some(set),
+                Err(_) => {
+                    poisoned = true;
+                    let _ = id;
+                    break;
+                }
+            }
+        }
+        if poisoned {
+            st.poisoned = true;
+            return;
+        }
+        for (id, set) in new_sets {
+            if let Some(entry) = st.segs.iter_mut().find(|e| e.vseg.id() == id) {
+                entry.vseg.reset_replication(set.expect("checked above"));
+            }
+        }
+        Self::recompute_durable(st);
+    }
+}
+
+impl std::fmt::Debug for VirtualLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("VirtualLog")
+            .field("id", &self.id)
+            .field("owner", &self.owner)
+            .field("appended", &st.appended)
+            .field("durable", &st.durable)
+            .field("live_vsegs", &st.segs.len())
+            .field("poisoned", &st.poisoned)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::MockChannel;
+    use crate::selector::{BackupSelector, SelectionPolicy};
+    use kera_common::ids::{GroupId, GroupRef, ProducerId, SegmentId, StreamId, StreamletId};
+    use kera_storage::segment::Segment;
+    use kera_wire::chunk::{ChunkBuilder, ChunkIter, ChunkView};
+    use kera_wire::record::Record;
+
+    fn selector(local: u32, fleet: u32) -> BackupSelector {
+        let nodes: Vec<NodeId> = (0..fleet).map(NodeId).collect();
+        BackupSelector::new(NodeId(local), &nodes, SelectionPolicy::RoundRobin, 42)
+    }
+
+    struct Phys {
+        seg: Arc<Segment>,
+        next_off: u64,
+    }
+
+    impl Phys {
+        fn new() -> Self {
+            let gref = GroupRef::new(StreamId(1), StreamletId(0), GroupId(0));
+            Self { seg: Arc::new(Segment::new(gref, SegmentId(0), 1 << 20)), next_off: 0 }
+        }
+
+        fn chunk(&mut self, payload_len: usize) -> ChunkRef {
+            let mut b =
+                ChunkBuilder::new(8192, ProducerId(0), StreamId(1), StreamletId(0));
+            let payload = vec![0xcd; payload_len];
+            b.append(&Record::value_only(&payload));
+            let bytes = b.seal();
+            let at = self.seg.append_chunk(&bytes, self.next_off).unwrap();
+            self.next_off += 1;
+            let view =
+                ChunkView::parse(self.seg.read(at.offset as usize, at.len as usize)).unwrap();
+            ChunkRef {
+                segment: Arc::clone(&self.seg),
+                offset: at.offset,
+                len: at.len,
+                checksum: view.header().checksum,
+                gref: self.seg.group(),
+            }
+        }
+    }
+
+    #[test]
+    fn append_sync_makes_chunks_durable() {
+        let vlog =
+            VirtualLog::new(VirtualLogId(0), NodeId(0), 1 << 20, 2, selector(0, 4)).unwrap();
+        let ch = MockChannel::new();
+        let mut phys = Phys::new();
+        let r = phys.chunk(100);
+        let len = r.len as u64;
+        let ticket = vlog.append(r).unwrap();
+        assert_eq!(ticket, len);
+        assert_eq!(vlog.durable(), 0);
+        vlog.sync(&ch, ticket).unwrap();
+        assert_eq!(vlog.durable(), len);
+        // Physical durable head advanced.
+        assert_eq!(phys.seg.durable_head(), len as usize);
+        // One batch to one backup set of 2.
+        assert_eq!(ch.batch_count(), 1);
+        let batches = ch.batches.lock();
+        assert_eq!(batches[0].0.len(), 2);
+        let chunks: Vec<_> =
+            ChunkIter::new(&batches[0].1.chunks).collect::<Result<_>>().unwrap();
+        assert_eq!(chunks.len(), 1);
+        chunks[0].verify().unwrap();
+    }
+
+    #[test]
+    fn batching_consolidates_multiple_appends_into_one_rpc() {
+        let vlog =
+            VirtualLog::new(VirtualLogId(0), NodeId(0), 1 << 20, 1, selector(0, 2)).unwrap();
+        let ch = MockChannel::new();
+        let mut phys = Phys::new();
+        let mut last = 0;
+        for _ in 0..10 {
+            last = vlog.append(phys.chunk(50)).unwrap();
+        }
+        vlog.sync(&ch, last).unwrap();
+        // All ten chunks left in a single consolidated batch.
+        assert_eq!(ch.batch_count(), 1);
+        assert_eq!(ch.batches.lock()[0].1.chunk_count, 10);
+        assert_eq!(vlog.chunks_replicated.get(), 10);
+    }
+
+    #[test]
+    fn sync_with_factor_one_is_noop() {
+        let vlog =
+            VirtualLog::new(VirtualLogId(0), NodeId(0), 1 << 20, 0, selector(0, 1)).unwrap();
+        let ch = MockChannel::new();
+        let mut phys = Phys::new();
+        let t = vlog.append(phys.chunk(10)).unwrap();
+        vlog.sync(&ch, t).unwrap();
+        assert_eq!(ch.batch_count(), 0);
+    }
+
+    #[test]
+    fn vsegs_roll_and_rotate_backups() {
+        let mut phys = Phys::new();
+        let probe = phys.chunk(100);
+        let chunk_len = probe.len as usize;
+        // Capacity of exactly 2 chunks per vseg; 3 backups in fleet.
+        let vlog = VirtualLog::new(
+            VirtualLogId(0),
+            NodeId(0),
+            chunk_len * 2,
+            1,
+            selector(0, 4),
+        )
+        .unwrap();
+        let ch = MockChannel::new();
+        let mut last = vlog.append(probe).unwrap();
+        for _ in 0..5 {
+            last = vlog.append(phys.chunk(100)).unwrap();
+        }
+        vlog.sync(&ch, last).unwrap();
+        // 6 chunks / 2 per vseg = 3 vsegs = 3 batches.
+        assert_eq!(ch.batch_count(), 3);
+        let batches = ch.batches.lock();
+        // Backup sets rotate round-robin over 3 candidates.
+        let sets: Vec<_> = batches.iter().map(|(b, _)| b[0]).collect();
+        assert_eq!(sets.len(), 3);
+        assert_ne!(sets[0], sets[1]);
+        // Sealed vsegs carry OPEN+CLOSE (single batch each here).
+        assert_eq!(batches[0].1.flags, backup_flags::OPEN | backup_flags::CLOSE);
+        assert_ne!(batches[0].1.vseg_checksum, 0);
+        // The still-open final vseg: OPEN only.
+        assert_eq!(batches[2].1.flags, backup_flags::OPEN);
+        drop(batches);
+        // Fully replicated sealed vsegs were dropped.
+        assert_eq!(vlog.live_vsegs(), 1);
+    }
+
+    #[test]
+    fn oversized_chunk_rejected() {
+        let vlog = VirtualLog::new(VirtualLogId(0), NodeId(0), 64, 1, selector(0, 2)).unwrap();
+        let mut phys = Phys::new();
+        let err = vlog.append(phys.chunk(500)).unwrap_err();
+        assert!(matches!(err, KeraError::ChunkTooLarge { .. }));
+    }
+
+    /// Adds wire latency to the mock so batches overlap with appends —
+    /// the condition under which group commit consolidates.
+    struct SlowChannel(MockChannel);
+
+    impl BackupChannel for SlowChannel {
+        fn replicate(
+            &self,
+            backups: &[NodeId],
+            req: &BackupWriteRequest,
+        ) -> Result<kera_wire::messages::BackupWriteResponse> {
+            std::thread::sleep(std::time::Duration::from_micros(300));
+            self.0.replicate(backups, req)
+        }
+    }
+
+    #[test]
+    fn concurrent_syncs_group_commit() {
+        let vlog = Arc::new(
+            VirtualLog::new(VirtualLogId(0), NodeId(0), 1 << 20, 2, selector(0, 4)).unwrap(),
+        );
+        let ch = Arc::new(SlowChannel(MockChannel::new()));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let vlog = Arc::clone(&vlog);
+                let ch = Arc::clone(&ch);
+                std::thread::spawn(move || {
+                    let mut phys = Phys::new();
+                    for _ in 0..50 {
+                        let t = vlog.append(phys.chunk(40)).unwrap();
+                        vlog.sync(&*ch, t).unwrap();
+                    }
+                    // Every byte this thread appended is durable.
+                    assert!(phys.seg.durable_head() == phys.seg.head());
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(vlog.chunks_replicated.get(), 400);
+        // Group commit must have consolidated: 400 chunks in strictly
+        // fewer than 400 RPCs (overwhelmingly fewer in practice).
+        assert!(
+            ch.0.batch_count() < 400,
+            "no consolidation happened: {} batches",
+            ch.0.batch_count()
+        );
+        assert_eq!(vlog.durable(), vlog.appended());
+    }
+
+    #[test]
+    fn transient_failure_surfaces_and_recovers() {
+        let vlog =
+            VirtualLog::new(VirtualLogId(0), NodeId(0), 1 << 20, 1, selector(0, 2)).unwrap();
+        let ch = MockChannel::new();
+        let mut phys = Phys::new();
+        let t = vlog.append(phys.chunk(10)).unwrap();
+        ch.fail.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(vlog.sync(&ch, t).is_err());
+        assert_eq!(vlog.durable(), 0);
+        // The failure is transient: once the channel heals, sync succeeds.
+        ch.fail.store(false, std::sync::atomic::Ordering::Relaxed);
+        vlog.sync(&ch, t).unwrap();
+        assert_eq!(vlog.durable(), vlog.appended());
+    }
+
+    /// A channel that reports one backup as crashed until told otherwise.
+    struct FlakyChannel {
+        dead: Mutex<Option<NodeId>>,
+        inner: MockChannel,
+    }
+
+    impl BackupChannel for FlakyChannel {
+        fn replicate(
+            &self,
+            backups: &[NodeId],
+            req: &BackupWriteRequest,
+        ) -> Result<kera_wire::messages::BackupWriteResponse> {
+            if let Some(dead) = *self.dead.lock() {
+                if backups.contains(&dead) {
+                    return Err(KeraError::Disconnected(dead));
+                }
+            }
+            self.inner.replicate(backups, req)
+        }
+    }
+
+    #[test]
+    fn backup_crash_triggers_rereplication() {
+        // Fleet: local 0 + backups 1, 2, 3; 2 copies per vseg. Round-robin
+        // starts with {1, 2}; declare 1 dead.
+        let vlog =
+            VirtualLog::new(VirtualLogId(0), NodeId(0), 1 << 20, 2, selector(0, 4)).unwrap();
+        let ch = FlakyChannel { dead: Mutex::new(Some(NodeId(1))), inner: MockChannel::new() };
+        let mut phys = Phys::new();
+        let t = vlog.append(phys.chunk(25)).unwrap();
+        // sync must succeed by reselecting {2, 3}.
+        vlog.sync(&ch, t).unwrap();
+        assert_eq!(vlog.durable(), vlog.appended());
+        let batches = ch.inner.batches.lock();
+        assert_eq!(batches.len(), 1);
+        assert!(!batches[0].0.contains(&NodeId(1)));
+        assert_eq!(batches[0].0.len(), 2);
+    }
+
+    #[test]
+    fn log_poisons_when_no_backups_remain() {
+        // Fleet: local 0 + backups 1, 2; need 2 copies. Kill 1 -> only
+        // backup 2 remains -> poison.
+        let vlog =
+            VirtualLog::new(VirtualLogId(0), NodeId(0), 1 << 20, 2, selector(0, 3)).unwrap();
+        let ch = FlakyChannel { dead: Mutex::new(Some(NodeId(1))), inner: MockChannel::new() };
+        let mut phys = Phys::new();
+        let t = vlog.append(phys.chunk(25)).unwrap();
+        let err = vlog.sync(&ch, t).unwrap_err();
+        assert!(matches!(err, KeraError::NoCapacity(_)));
+        // Subsequent appends fail fast.
+        assert!(vlog.append(phys.chunk(25)).is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Virtual segments: append-only metadata buffers of chunk references
+//! (paper §IV-B).
+//!
+//! "The virtual segment only keeps chunk metadata and calculates its
+//! remaining virtual space based on the accumulated chunk lengths. [...]
+//! The virtual segment has a header with a checksum that covers the
+//! chunks' checksums. The virtual segment also keeps two attributes: one
+//! to denote the next available/free offset (the header) and another that
+//! points to what was already durably replicated (the durable header)."
+
+use std::sync::Arc;
+
+use kera_common::checksum::Crc32c;
+use kera_common::ids::{GroupRef, NodeId, VirtualSegmentId};
+use kera_storage::segment::Segment;
+
+/// A reference to a chunk physically stored in a streamlet's segment.
+#[derive(Clone)]
+pub struct ChunkRef {
+    /// The physical segment holding the chunk bytes.
+    pub segment: Arc<Segment>,
+    /// Byte offset of the chunk within the segment.
+    pub offset: u32,
+    /// Chunk length in bytes.
+    pub len: u32,
+    /// Payload checksum (copied from the chunk header; folded into the
+    /// virtual segment's checksum-of-checksums).
+    pub checksum: u32,
+    /// Which group the chunk belongs to (for debugging/recovery).
+    pub gref: GroupRef,
+}
+
+impl std::fmt::Debug for ChunkRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ChunkRef({} seg{} +{} len{})", self.gref, self.segment.id(), self.offset, self.len)
+    }
+}
+
+impl ChunkRef {
+    /// Reads the chunk's bytes out of its physical segment. Replication
+    /// path: reads published (not necessarily durable) bytes.
+    pub fn bytes(&self) -> &[u8] {
+        self.segment.read(self.offset as usize, self.len as usize)
+    }
+
+    /// End of the chunk within its segment (`offset + len`).
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.offset as usize + self.len as usize
+    }
+}
+
+/// State of a virtual segment. Mutated only under the owning virtual
+/// log's state lock.
+pub struct VirtualSegment {
+    id: VirtualSegmentId,
+    capacity: usize,
+    /// Backups replicating this virtual segment (one replicated segment
+    /// each). Chosen at open time; immutable afterwards.
+    backups: Vec<NodeId>,
+    /// Ordered chunk references.
+    refs: Vec<ChunkRef>,
+    /// The *header*: accumulated virtual size in bytes (Σ ref lens).
+    virt_size: usize,
+    /// The *durable header*: bytes acknowledged by all backups. Always a
+    /// chunk boundary — chunks replicate atomically.
+    durable: usize,
+    /// Index of the first unreplicated ref (`refs[..replicated]` are
+    /// durable).
+    replicated: usize,
+    /// Sealed: no further appends.
+    sealed: bool,
+    /// Whether the CLOSE batch (carrying the final checksum) has been
+    /// acknowledged by the backups.
+    close_acked: bool,
+    /// Running checksum over the chunk checksums, in append order.
+    checksum: Crc32c,
+}
+
+impl VirtualSegment {
+    pub fn new(id: VirtualSegmentId, capacity: usize, backups: Vec<NodeId>) -> Self {
+        Self {
+            id,
+            capacity,
+            backups,
+            refs: Vec::new(),
+            virt_size: 0,
+            durable: 0,
+            replicated: 0,
+            sealed: false,
+            close_acked: false,
+            checksum: Crc32c::new(),
+        }
+    }
+
+    #[inline]
+    pub fn id(&self) -> VirtualSegmentId {
+        self.id
+    }
+
+    #[inline]
+    pub fn backups(&self) -> &[NodeId] {
+        &self.backups
+    }
+
+    /// The header: bytes (virtually) appended.
+    #[inline]
+    pub fn header(&self) -> usize {
+        self.virt_size
+    }
+
+    /// The durable header: bytes replicated on all backups.
+    #[inline]
+    pub fn durable_header(&self) -> usize {
+        self.durable
+    }
+
+    #[inline]
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    #[inline]
+    pub fn is_fully_replicated(&self) -> bool {
+        self.sealed && self.durable == self.virt_size && self.close_acked
+    }
+
+    #[inline]
+    pub fn ref_count(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// True if a chunk of `len` bytes fits in the remaining virtual space.
+    #[inline]
+    pub fn fits(&self, len: usize) -> bool {
+        !self.sealed && self.virt_size + len <= self.capacity
+    }
+
+    /// Appends a chunk reference. Caller must have checked [`fits`] (the
+    /// virtual log rolls to a fresh virtual segment otherwise).
+    ///
+    /// [`fits`]: VirtualSegment::fits
+    pub fn append(&mut self, r: ChunkRef) {
+        debug_assert!(self.fits(r.len as usize));
+        self.virt_size += r.len as usize;
+        self.checksum.update_u32(r.checksum);
+        self.refs.push(r);
+    }
+
+    /// Seals the virtual segment (it became full, or the log is shutting
+    /// down).
+    pub fn seal(&mut self) {
+        self.sealed = true;
+    }
+
+    /// The checksum-of-chunk-checksums accumulated so far; final once
+    /// sealed.
+    pub fn checksum(&self) -> u32 {
+        self.checksum.finish()
+    }
+
+    /// Unreplicated references (the next replication batch).
+    pub fn unreplicated(&self) -> &[ChunkRef] {
+        &self.refs[self.replicated..]
+    }
+
+    /// True when a replication round is needed: data to ship, or a sealed
+    /// segment whose CLOSE has not been acknowledged.
+    pub fn needs_replication(&self) -> bool {
+        self.replicated < self.refs.len() || (self.sealed && !self.close_acked)
+    }
+
+    /// Rewinds replication after a backup crash: the virtual segment will
+    /// be re-replicated from offset zero onto `new_backups`. Physical
+    /// durable heads are *not* rewound — data already exposed to
+    /// consumers stays exposed (it survives on the broker and the
+    /// remaining backups); this only restores the replication factor.
+    pub fn reset_replication(&mut self, new_backups: Vec<NodeId>) {
+        self.backups = new_backups;
+        self.durable = 0;
+        self.replicated = 0;
+        self.close_acked = false;
+    }
+
+    /// Marks the next `n` references replicated (acked by all backups) and
+    /// advances the durable header; `close_acked` records that a CLOSE
+    /// flag was carried and acknowledged. Returns the references just made
+    /// durable so the caller can advance the physical segments' durable
+    /// heads in order.
+    pub fn mark_replicated(&mut self, n: usize, close_acked: bool) -> &[ChunkRef] {
+        let start = self.replicated;
+        let end = start + n;
+        debug_assert!(end <= self.refs.len());
+        for r in &self.refs[start..end] {
+            self.durable += r.len as usize;
+        }
+        self.replicated = end;
+        if close_acked {
+            debug_assert!(self.sealed);
+            self.close_acked = true;
+        }
+        &self.refs[start..end]
+    }
+}
+
+impl std::fmt::Debug for VirtualSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualSegment")
+            .field("id", &self.id)
+            .field("header", &self.virt_size)
+            .field("durable", &self.durable)
+            .field("refs", &self.refs.len())
+            .field("sealed", &self.sealed)
+            .field("backups", &self.backups)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kera_common::checksum::Crc32c;
+    use kera_common::ids::{GroupId, ProducerId, SegmentId, StreamId, StreamletId};
+    use kera_wire::chunk::{ChunkBuilder, ChunkView};
+    use kera_wire::record::Record;
+
+    fn physical_chunk(payload: &[u8]) -> (Arc<Segment>, ChunkRef) {
+        let gref = GroupRef::new(StreamId(1), StreamletId(0), GroupId(0));
+        let seg = Arc::new(Segment::new(gref, SegmentId(0), 1 << 16));
+        let mut b = ChunkBuilder::new(4096, ProducerId(0), StreamId(1), StreamletId(0));
+        b.append(&Record::value_only(payload));
+        let bytes = b.seal();
+        let at = seg.append_chunk(&bytes, 0).unwrap();
+        let view = ChunkView::parse(seg.read(at.offset as usize, at.len as usize)).unwrap();
+        let checksum = view.header().checksum;
+        let r = ChunkRef { segment: Arc::clone(&seg), offset: at.offset, len: at.len, checksum, gref };
+        (seg, r)
+    }
+
+    #[test]
+    fn append_tracks_header_and_space() {
+        let (_s, r) = physical_chunk(b"0123456789");
+        let len = r.len as usize;
+        let mut v = VirtualSegment::new(VirtualSegmentId(1), len * 2, vec![NodeId(5)]);
+        assert!(v.fits(len));
+        v.append(r.clone());
+        assert_eq!(v.header(), len);
+        assert_eq!(v.durable_header(), 0);
+        assert!(v.fits(len));
+        v.append(r.clone());
+        assert!(!v.fits(1));
+        assert_eq!(v.ref_count(), 2);
+        assert!(v.needs_replication());
+    }
+
+    #[test]
+    fn chunk_ref_reads_physical_bytes() {
+        let (_s, r) = physical_chunk(b"payload!");
+        let view = ChunkView::parse(r.bytes()).unwrap();
+        view.verify().unwrap();
+        assert!(view.header().is_assigned());
+    }
+
+    #[test]
+    fn mark_replicated_advances_durable_header() {
+        let (_s, r) = physical_chunk(b"abc");
+        let len = r.len as usize;
+        let mut v = VirtualSegment::new(VirtualSegmentId(0), len * 4, vec![]);
+        for _ in 0..4 {
+            v.append(r.clone());
+        }
+        let made = v.mark_replicated(2, false);
+        assert_eq!(made.len(), 2);
+        assert_eq!(v.durable_header(), 2 * len);
+        assert_eq!(v.unreplicated().len(), 2);
+        v.mark_replicated(2, false);
+        assert_eq!(v.durable_header(), v.header());
+        assert!(!v.needs_replication());
+        assert!(!v.is_fully_replicated(), "not sealed yet");
+    }
+
+    #[test]
+    fn sealed_segment_needs_close_ack() {
+        let (_s, r) = physical_chunk(b"abc");
+        let len = r.len as usize;
+        let mut v = VirtualSegment::new(VirtualSegmentId(0), len * 2, vec![]);
+        v.append(r.clone());
+        v.seal();
+        assert!(v.is_sealed());
+        assert!(!v.fits(1));
+        assert!(v.needs_replication());
+        v.mark_replicated(1, true);
+        assert!(v.is_fully_replicated());
+        assert!(!v.needs_replication());
+    }
+
+    #[test]
+    fn checksum_matches_manual_accumulation() {
+        let (_s, r1) = physical_chunk(b"one");
+        let (_s2, r2) = physical_chunk(b"two");
+        let mut v = VirtualSegment::new(VirtualSegmentId(0), 1 << 20, vec![]);
+        v.append(r1.clone());
+        v.append(r2.clone());
+        let mut expect = Crc32c::new();
+        expect.update_u32(r1.checksum);
+        expect.update_u32(r2.checksum);
+        assert_eq!(v.checksum(), expect.finish());
+    }
+
+    #[test]
+    fn durable_header_never_exceeds_header() {
+        let (_s, r) = physical_chunk(b"xyz");
+        let mut v = VirtualSegment::new(VirtualSegmentId(0), 1 << 20, vec![]);
+        v.append(r.clone());
+        v.append(r.clone());
+        v.mark_replicated(1, false);
+        assert!(v.durable_header() <= v.header());
+        v.mark_replicated(1, false);
+        assert_eq!(v.durable_header(), v.header());
+    }
+}

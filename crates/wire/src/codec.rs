@@ -1,0 +1,243 @@
+//! Little-endian read/write primitives.
+//!
+//! A thin, explicit layer over raw byte slices: every message body in
+//! [`crate::messages`] is built from these. Reads are bounds-checked and
+//! return [`KeraError::Protocol`] on truncation, so a malformed frame can
+//! never panic a broker.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use kera_common::{KeraError, Result};
+
+/// Sequential reader over a byte slice.
+#[derive(Clone, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    #[inline]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(KeraError::Protocol(format!(
+                "truncated message: needed {n} bytes at offset {}, had {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    #[inline]
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    #[inline]
+    pub fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    #[inline]
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    #[inline]
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads `n` raw bytes.
+    #[inline]
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads a `u32` length prefix followed by that many bytes.
+    pub fn len_prefixed(&mut self) -> Result<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Reads a `u32` element count for a collection whose elements each
+    /// occupy at least `min_elem_size` bytes, rejecting counts that could
+    /// not possibly fit in the remaining buffer. This keeps
+    /// `Vec::with_capacity` on untrusted input from aborting the process
+    /// with a huge allocation.
+    pub fn collection_len(&mut self, min_elem_size: usize) -> Result<usize> {
+        let n = self.u32()? as usize;
+        let needed = n.saturating_mul(min_elem_size.max(1));
+        if needed > self.remaining() {
+            return Err(KeraError::Protocol(format!(
+                "collection of {n} elements (>= {min_elem_size} bytes each) cannot fit in {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String> {
+        let raw = self.len_prefixed()?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| KeraError::Protocol("invalid utf-8 in string field".into()))
+    }
+}
+
+/// Sequential writer producing a `Bytes`.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    #[inline]
+    pub fn new() -> Self {
+        Self { buf: BytesMut::new() }
+    }
+
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: BytesMut::with_capacity(cap) }
+    }
+
+    #[inline]
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    #[inline]
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.put_u16_le(v);
+        self
+    }
+
+    #[inline]
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    #[inline]
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    #[inline]
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_slice(v);
+        self
+    }
+
+    #[inline]
+    pub fn len_prefixed(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.bytes(v)
+    }
+
+    #[inline]
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.len_prefixed(v.as_bytes())
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    #[inline]
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = Writer::new();
+        w.u8(0xab).u16(0xcdef).u32(0xdead_beef).u64(0x0123_4567_89ab_cdef);
+        w.len_prefixed(b"hello").string("world");
+        let buf = w.finish();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0xcdef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.len_prefixed().unwrap(), b"hello");
+        assert_eq!(r.string().unwrap(), "world");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let buf = [1u8, 2, 3];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u16().unwrap(), 0x0201);
+        assert!(r.u32().is_err());
+        // The failed read must not consume anything.
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.u8().unwrap(), 3);
+    }
+
+    #[test]
+    fn len_prefix_larger_than_payload_is_error() {
+        let mut w = Writer::new();
+        w.u32(100).bytes(b"short");
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert!(r.len_prefixed().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_string_is_error() {
+        let mut w = Writer::new();
+        w.len_prefixed(&[0xff, 0xfe]);
+        let buf = w.finish();
+        assert!(Reader::new(&buf).string().is_err());
+    }
+
+    #[test]
+    fn position_tracks_consumption() {
+        let buf = [0u8; 16];
+        let mut r = Reader::new(&buf);
+        r.u64().unwrap();
+        assert_eq!(r.position(), 8);
+        assert_eq!(r.remaining(), 8);
+    }
+}

@@ -1,0 +1,320 @@
+//! RPC envelopes: opcodes, status codes and frame serialization.
+//!
+//! The in-memory transport passes [`Envelope`] values through channels
+//! directly (the payload `Bytes` is already serialized, so nothing is
+//! re-encoded); the TCP transport uses [`Envelope::encode`] /
+//! [`Envelope::decode`] with a `u32` length prefix.
+
+use bytes::Bytes;
+use kera_common::ids::NodeId;
+use kera_common::{KeraError, Result};
+
+use crate::codec::{Reader, Writer};
+
+/// Every RPC the cluster speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpCode {
+    /// Liveness probe.
+    Ping = 0,
+    /// Coordinator: create a stream and place its streamlets.
+    CreateStream = 1,
+    /// Coordinator: fetch stream metadata (streamlet→broker map, Q).
+    GetMetadata = 2,
+    /// Broker: append a set of chunks (the producer request, Fig. 3).
+    Produce = 3,
+    /// Broker: pull chunks for a set of streamlet cursors (consumer).
+    Fetch = 4,
+    /// Backup: replicate a batch of chunks of one virtual segment.
+    BackupWrite = 5,
+    /// Backup: drop replicated segments of a vlog (after stream deletion).
+    BackupFree = 6,
+    /// Kafka baseline: follower pull request (passive replication).
+    FollowerFetch = 7,
+    /// Backup: list replicated virtual segments held for a crashed broker.
+    RecoveryEnumerate = 8,
+    /// Backup: read one replicated virtual segment's chunks.
+    RecoveryRead = 9,
+    /// Broker: re-ingest recovered chunks (handled like a produce).
+    RecoveryIngest = 10,
+    /// Coordinator: report a node crash / trigger recovery.
+    ReportCrash = 11,
+    /// Orderly shutdown.
+    Shutdown = 12,
+    /// Coordinator → broker: host streamlets of a stream (leader or, in
+    /// the Kafka baseline, follower replicas).
+    HostStream = 13,
+    /// Client → coordinator (and coordinator → broker): delete a stream.
+    DeleteStream = 14,
+    /// Broker: translate a logical record offset into a slot cursor
+    /// (lightweight offset index lookup).
+    Seek = 15,
+}
+
+impl OpCode {
+    pub fn from_u8(v: u8) -> Result<OpCode> {
+        use OpCode::*;
+        Ok(match v {
+            0 => Ping,
+            1 => CreateStream,
+            2 => GetMetadata,
+            3 => Produce,
+            4 => Fetch,
+            5 => BackupWrite,
+            6 => BackupFree,
+            7 => FollowerFetch,
+            8 => RecoveryEnumerate,
+            9 => RecoveryRead,
+            10 => RecoveryIngest,
+            11 => ReportCrash,
+            12 => Shutdown,
+            13 => HostStream,
+            14 => DeleteStream,
+            15 => Seek,
+            _ => return Err(KeraError::Protocol(format!("unknown opcode {v}"))),
+        })
+    }
+}
+
+/// Response status. Mirrors the variants of [`KeraError`] that can cross
+/// the wire; `Ok` for successful responses and all requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum StatusCode {
+    Ok = 0,
+    UnknownStream = 1,
+    UnknownStreamlet = 2,
+    UnknownGroup = 3,
+    StreamExists = 4,
+    Corruption = 5,
+    ChunkTooLarge = 6,
+    NoCapacity = 7,
+    ShuttingDown = 8,
+    Protocol = 9,
+    Recovery = 10,
+    Internal = 11,
+}
+
+impl StatusCode {
+    pub fn from_u8(v: u8) -> Result<StatusCode> {
+        Ok(match v {
+            0 => StatusCode::Ok,
+            1 => StatusCode::UnknownStream,
+            2 => StatusCode::UnknownStreamlet,
+            3 => StatusCode::UnknownGroup,
+            4 => StatusCode::StreamExists,
+            5 => StatusCode::Corruption,
+            6 => StatusCode::ChunkTooLarge,
+            7 => StatusCode::NoCapacity,
+            8 => StatusCode::ShuttingDown,
+            9 => StatusCode::Protocol,
+            10 => StatusCode::Recovery,
+            11 => StatusCode::Internal,
+            _ => return Err(KeraError::Protocol(format!("unknown status {v}"))),
+        })
+    }
+}
+
+/// Maps a server-side error to the status carried on the wire.
+pub fn status_for_error(e: &KeraError) -> StatusCode {
+    match e {
+        KeraError::UnknownStream(_) => StatusCode::UnknownStream,
+        KeraError::UnknownStreamlet(_, _) => StatusCode::UnknownStreamlet,
+        KeraError::UnknownGroup(_) => StatusCode::UnknownGroup,
+        KeraError::StreamExists(_) => StatusCode::StreamExists,
+        KeraError::Corruption { .. } => StatusCode::Corruption,
+        KeraError::ChunkTooLarge { .. } => StatusCode::ChunkTooLarge,
+        KeraError::NoCapacity(_) => StatusCode::NoCapacity,
+        KeraError::ShuttingDown => StatusCode::ShuttingDown,
+        KeraError::Protocol(_) => StatusCode::Protocol,
+        KeraError::Recovery(_) => StatusCode::Recovery,
+        _ => StatusCode::Internal,
+    }
+}
+
+/// Reconstructs a client-side error from a non-Ok status and the error
+/// message the server put in the payload.
+pub fn error_for_status(status: StatusCode, message: &str) -> KeraError {
+    match status {
+        StatusCode::Ok => KeraError::Protocol("error_for_status called with Ok".into()),
+        StatusCode::ShuttingDown => KeraError::ShuttingDown,
+        StatusCode::NoCapacity => KeraError::NoCapacity(message.to_string()),
+        StatusCode::Recovery => KeraError::Recovery(message.to_string()),
+        StatusCode::Corruption => {
+            KeraError::Corruption { what: "remote", expected: 0, actual: 0 }
+        }
+        _ => KeraError::Protocol(format!("{status:?}: {message}")),
+    }
+}
+
+/// Request vs response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    Request = 0,
+    Response = 1,
+}
+
+/// One message on the wire (or in a channel).
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    pub kind: FrameKind,
+    pub opcode: OpCode,
+    pub status: StatusCode,
+    pub request_id: u64,
+    pub from: NodeId,
+    pub payload: Bytes,
+}
+
+impl Envelope {
+    pub fn request(opcode: OpCode, request_id: u64, from: NodeId, payload: Bytes) -> Self {
+        Self { kind: FrameKind::Request, opcode, status: StatusCode::Ok, request_id, from, payload }
+    }
+
+    pub fn response(
+        opcode: OpCode,
+        request_id: u64,
+        from: NodeId,
+        status: StatusCode,
+        payload: Bytes,
+    ) -> Self {
+        Self { kind: FrameKind::Response, opcode, status, request_id, from, payload }
+    }
+
+    /// An error response carrying the error's message as payload.
+    pub fn error_response(opcode: OpCode, request_id: u64, from: NodeId, e: &KeraError) -> Self {
+        let mut w = Writer::new();
+        w.string(&e.to_string());
+        Self::response(opcode, request_id, from, status_for_error(e), w.finish())
+    }
+
+    /// Total serialized size (header + payload), used by the bandwidth
+    /// model and transport accounting.
+    pub fn wire_len(&self) -> usize {
+        Self::HEADER_LEN + self.payload.len()
+    }
+
+    /// Serialized envelope header length (excluding the outer u32 length
+    /// prefix used by stream transports).
+    pub const HEADER_LEN: usize = 16;
+
+    /// Serializes header + payload (no outer length prefix).
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::with_capacity(Self::HEADER_LEN + self.payload.len());
+        w.u8(self.kind as u8)
+            .u8(self.opcode as u8)
+            .u8(self.status as u8)
+            .u8(0)
+            .u64(self.request_id)
+            .u32(self.from.raw())
+            .bytes(&self.payload);
+        w.finish()
+    }
+
+    /// Parses an envelope from `buf` (header + payload, exact).
+    pub fn decode(buf: &[u8]) -> Result<Envelope> {
+        let mut r = Reader::new(buf);
+        let kind = match r.u8()? {
+            0 => FrameKind::Request,
+            1 => FrameKind::Response,
+            k => return Err(KeraError::Protocol(format!("unknown frame kind {k}"))),
+        };
+        let opcode = OpCode::from_u8(r.u8()?)?;
+        let status = StatusCode::from_u8(r.u8()?)?;
+        let _reserved = r.u8()?;
+        let request_id = r.u64()?;
+        let from = NodeId(r.u32()?);
+        let payload = Bytes::copy_from_slice(r.bytes(r.remaining())?);
+        Ok(Envelope { kind, opcode, status, request_id, from, payload })
+    }
+
+    /// Extracts the error from a response envelope, or `Ok(())` if the
+    /// status is Ok.
+    pub fn check_status(&self) -> Result<()> {
+        if self.status == StatusCode::Ok {
+            return Ok(());
+        }
+        let msg = Reader::new(&self.payload).string().unwrap_or_default();
+        Err(error_for_status(self.status, &msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrip() {
+        for v in 0..=15u8 {
+            let op = OpCode::from_u8(v).unwrap();
+            assert_eq!(op as u8, v);
+        }
+        assert!(OpCode::from_u8(200).is_err());
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        for v in 0..=11u8 {
+            let s = StatusCode::from_u8(v).unwrap();
+            assert_eq!(s as u8, v);
+        }
+        assert!(StatusCode::from_u8(99).is_err());
+    }
+
+    #[test]
+    fn envelope_encode_decode() {
+        let env = Envelope::request(OpCode::Produce, 42, NodeId(7), Bytes::from_static(b"body"));
+        let encoded = env.encode();
+        assert_eq!(encoded.len(), env.wire_len());
+        let back = Envelope::decode(&encoded).unwrap();
+        assert_eq!(back.kind, FrameKind::Request);
+        assert_eq!(back.opcode, OpCode::Produce);
+        assert_eq!(back.status, StatusCode::Ok);
+        assert_eq!(back.request_id, 42);
+        assert_eq!(back.from, NodeId(7));
+        assert_eq!(&back.payload[..], b"body");
+    }
+
+    #[test]
+    fn error_response_roundtrips_error() {
+        let e = KeraError::NoCapacity("only 1 backup".into());
+        let env = Envelope::error_response(OpCode::CreateStream, 5, NodeId(0), &e);
+        assert_eq!(env.status, StatusCode::NoCapacity);
+        let err = env.check_status().unwrap_err();
+        match err {
+            KeraError::NoCapacity(msg) => assert!(msg.contains("only 1 backup")),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn ok_response_check_passes() {
+        let env =
+            Envelope::response(OpCode::Ping, 1, NodeId(1), StatusCode::Ok, Bytes::new());
+        env.check_status().unwrap();
+    }
+
+    #[test]
+    fn status_error_mapping_covers_core_errors() {
+        use kera_common::ids::{StreamId, StreamletId};
+        assert_eq!(
+            status_for_error(&KeraError::UnknownStream(StreamId(1))),
+            StatusCode::UnknownStream
+        );
+        assert_eq!(
+            status_for_error(&KeraError::UnknownStreamlet(StreamId(1), StreamletId(2))),
+            StatusCode::UnknownStreamlet
+        );
+        assert_eq!(status_for_error(&KeraError::ShuttingDown), StatusCode::ShuttingDown);
+        assert_eq!(
+            status_for_error(&KeraError::Timeout { op: "x" }),
+            StatusCode::Internal
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Envelope::decode(&[]).is_err());
+        assert!(Envelope::decode(&[9, 0, 0, 0]).is_err());
+    }
+}

@@ -1,0 +1,1056 @@
+//! Typed request/response bodies for every opcode.
+//!
+//! Each message implements `encode() -> Bytes` and `decode(&[u8]) ->
+//! Result<Self>`; bulk chunk data is carried as packed chunk bytes (see
+//! [`crate::chunk`]) so the same buffer travels producer → broker →
+//! backup → disk without re-serialization.
+
+use bytes::Bytes;
+use kera_common::config::{ReplicationConfig, StreamConfig, VirtualLogPolicy};
+use kera_common::ids::{
+    ConsumerId, NodeId, ProducerId, StreamId, StreamletId, VirtualLogId, VirtualSegmentId,
+};
+use kera_common::{KeraError, Result};
+
+use crate::codec::{Reader, Writer};
+use crate::cursor::SlotCursor;
+
+// ---------------------------------------------------------------------------
+// StreamConfig encoding (shared by several messages)
+// ---------------------------------------------------------------------------
+
+pub fn encode_stream_config(w: &mut Writer, c: &StreamConfig) {
+    w.u32(c.id.raw())
+        .u32(c.streamlets)
+        .u32(c.active_groups)
+        .u32(c.segments_per_group)
+        .u64(c.segment_size as u64)
+        .u32(c.replication.factor)
+        .u64(c.replication.vseg_size as u64);
+    match c.replication.policy {
+        VirtualLogPolicy::SharedPerBroker(n) => {
+            w.u8(0).u32(n);
+        }
+        VirtualLogPolicy::PerStreamlet => {
+            w.u8(1).u32(0);
+        }
+        VirtualLogPolicy::PerSubPartition => {
+            w.u8(2).u32(0);
+        }
+    }
+}
+
+pub fn decode_stream_config(r: &mut Reader<'_>) -> Result<StreamConfig> {
+    let id = StreamId(r.u32()?);
+    let streamlets = r.u32()?;
+    let active_groups = r.u32()?;
+    let segments_per_group = r.u32()?;
+    let segment_size = r.u64()? as usize;
+    let factor = r.u32()?;
+    let vseg_size = r.u64()? as usize;
+    let policy = match (r.u8()?, r.u32()?) {
+        (0, n) => VirtualLogPolicy::SharedPerBroker(n),
+        (1, _) => VirtualLogPolicy::PerStreamlet,
+        (2, _) => VirtualLogPolicy::PerSubPartition,
+        (p, _) => return Err(KeraError::Protocol(format!("unknown vlog policy {p}"))),
+    };
+    Ok(StreamConfig {
+        id,
+        streamlets,
+        active_groups,
+        segments_per_group,
+        segment_size,
+        replication: ReplicationConfig { factor, policy, vseg_size },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// CreateStream / GetMetadata / HostStream
+// ---------------------------------------------------------------------------
+
+/// Client → coordinator: create a stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CreateStreamRequest {
+    pub config: StreamConfig,
+}
+
+impl CreateStreamRequest {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        encode_stream_config(&mut w, &self.config);
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        Ok(Self { config: decode_stream_config(&mut r)? })
+    }
+}
+
+/// Where each streamlet lives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamletPlacement {
+    pub streamlet: StreamletId,
+    pub broker: NodeId,
+}
+
+/// Coordinator → client and coordinator → broker: full stream metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamMetadata {
+    pub config: StreamConfig,
+    pub placements: Vec<StreamletPlacement>,
+}
+
+impl StreamMetadata {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.finish()
+    }
+
+    pub fn encode_into(&self, w: &mut Writer) {
+        encode_stream_config(w, &self.config);
+        w.u32(self.placements.len() as u32);
+        for p in &self.placements {
+            w.u32(p.streamlet.raw()).u32(p.broker.raw());
+        }
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        Self::decode_from(&mut r)
+    }
+
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Self> {
+        let config = decode_stream_config(r)?;
+        let n = r.collection_len(8)?;
+        let mut placements = Vec::with_capacity(n);
+        for _ in 0..n {
+            placements.push(StreamletPlacement {
+                streamlet: StreamletId(r.u32()?),
+                broker: NodeId(r.u32()?),
+            });
+        }
+        Ok(Self { config, placements })
+    }
+
+    /// Broker responsible for `streamlet`.
+    pub fn broker_of(&self, streamlet: StreamletId) -> Option<NodeId> {
+        self.placements.iter().find(|p| p.streamlet == streamlet).map(|p| p.broker)
+    }
+
+    /// Distinct brokers serving this stream, in placement order.
+    pub fn brokers(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for p in &self.placements {
+            if !out.contains(&p.broker) {
+                out.push(p.broker);
+            }
+        }
+        out
+    }
+}
+
+/// Client → coordinator: look up a stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GetMetadataRequest {
+    pub stream: StreamId,
+}
+
+impl GetMetadataRequest {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.u32(self.stream.raw());
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        Ok(Self { stream: StreamId(Reader::new(buf).u32()?) })
+    }
+}
+
+/// Roles a node can play for a hosted streamlet (Kafka baseline uses
+/// followers; KerA brokers are always leaders and replicate via vlogs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ReplicaRole {
+    Leader = 0,
+    Follower = 1,
+}
+
+/// Coordinator → broker: host (a subset of) a stream's streamlets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostStreamRequest {
+    pub metadata: StreamMetadata,
+    /// Streamlets this node must host and its role for each. For
+    /// followers, `leader` is the node to fetch from.
+    pub assignments: Vec<HostAssignment>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HostAssignment {
+    pub streamlet: StreamletId,
+    pub role: ReplicaRole,
+    pub leader: NodeId,
+}
+
+impl HostStreamRequest {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        self.metadata.encode_into(&mut w);
+        w.u32(self.assignments.len() as u32);
+        for a in &self.assignments {
+            w.u32(a.streamlet.raw()).u8(a.role as u8).u32(a.leader.raw());
+        }
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let metadata = StreamMetadata::decode_from(&mut r)?;
+        let n = r.collection_len(9)?;
+        let mut assignments = Vec::with_capacity(n);
+        for _ in 0..n {
+            let streamlet = StreamletId(r.u32()?);
+            let role = match r.u8()? {
+                0 => ReplicaRole::Leader,
+                1 => ReplicaRole::Follower,
+                x => return Err(KeraError::Protocol(format!("unknown replica role {x}"))),
+            };
+            let leader = NodeId(r.u32()?);
+            assignments.push(HostAssignment { streamlet, role, leader });
+        }
+        Ok(Self { metadata, assignments })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Produce
+// ---------------------------------------------------------------------------
+
+/// Producer → broker: a request carrying packed chunks (paper Fig. 3:
+/// "each request contains multiple chunks"). Chunks may belong to
+/// different streams hosted on the same broker.
+#[derive(Clone, Debug)]
+pub struct ProduceRequest {
+    pub producer: ProducerId,
+    /// Set for recovery re-ingestion: chunks already carry group/segment
+    /// assignments that must be preserved.
+    pub recovery: bool,
+    pub chunk_count: u32,
+    /// Packed serialized chunks.
+    pub chunks: Bytes,
+}
+
+impl ProduceRequest {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::with_capacity(16 + self.chunks.len());
+        w.u32(self.producer.raw())
+            .u8(self.recovery as u8)
+            .u32(self.chunk_count)
+            .bytes(&self.chunks);
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let producer = ProducerId(r.u32()?);
+        let recovery = r.u8()? != 0;
+        let chunk_count = r.u32()?;
+        let chunks = Bytes::copy_from_slice(r.bytes(r.remaining())?);
+        Ok(Self { producer, recovery, chunk_count, chunks })
+    }
+}
+
+/// Per-chunk assignment info returned to the producer (enables
+/// exactly-once dedup on retry and offset bookkeeping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkAck {
+    pub stream: StreamId,
+    pub streamlet: StreamletId,
+    pub group: u32,
+    pub segment: u32,
+    pub base_offset: u64,
+    pub records: u32,
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct ProduceResponse {
+    pub acks: Vec<ChunkAck>,
+}
+
+impl ProduceResponse {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::with_capacity(4 + self.acks.len() * 28);
+        w.u32(self.acks.len() as u32);
+        for a in &self.acks {
+            w.u32(a.stream.raw())
+                .u32(a.streamlet.raw())
+                .u32(a.group)
+                .u32(a.segment)
+                .u64(a.base_offset)
+                .u32(a.records);
+        }
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let n = r.collection_len(28)?;
+        let mut acks = Vec::with_capacity(n);
+        for _ in 0..n {
+            acks.push(ChunkAck {
+                stream: StreamId(r.u32()?),
+                streamlet: StreamletId(r.u32()?),
+                group: r.u32()?,
+                segment: r.u32()?,
+                base_offset: r.u64()?,
+                records: r.u32()?,
+            });
+        }
+        Ok(Self { acks })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fetch (consumers)
+// ---------------------------------------------------------------------------
+
+/// One streamlet slot the consumer wants data from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchEntry {
+    pub stream: StreamId,
+    pub streamlet: StreamletId,
+    pub slot: u32,
+    pub cursor: SlotCursor,
+    pub max_bytes: u32,
+}
+
+/// Consumer → broker: pull durable chunks for a set of slots
+/// ("the Requests thread builds one request for each broker and pulls one
+/// chunk for each streamlet", paper Fig. 7).
+#[derive(Clone, Debug, Default)]
+pub struct FetchRequest {
+    pub consumer: ConsumerId,
+    pub entries: Vec<FetchEntry>,
+}
+
+impl FetchRequest {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::with_capacity(8 + self.entries.len() * 28);
+        w.u32(self.consumer.raw()).u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.u32(e.stream.raw()).u32(e.streamlet.raw()).u32(e.slot);
+            e.cursor.encode(&mut w);
+            w.u32(e.max_bytes);
+        }
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let consumer = ConsumerId(r.u32()?);
+        let n = r.collection_len(28)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(FetchEntry {
+                stream: StreamId(r.u32()?),
+                streamlet: StreamletId(r.u32()?),
+                slot: r.u32()?,
+                cursor: SlotCursor::decode(&mut r)?,
+                max_bytes: r.u32()?,
+            });
+        }
+        Ok(Self { consumer, entries })
+    }
+}
+
+/// Data (possibly empty) returned for one fetch entry; `cursor` is the
+/// position to use on the next fetch.
+#[derive(Clone, Debug)]
+pub struct FetchResult {
+    pub stream: StreamId,
+    pub streamlet: StreamletId,
+    pub slot: u32,
+    pub cursor: SlotCursor,
+    /// Packed chunks readable up to the durable head.
+    pub data: Bytes,
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct FetchResponse {
+    pub results: Vec<FetchResult>,
+}
+
+impl FetchResponse {
+    pub fn encode(&self) -> Bytes {
+        let total: usize = self.results.iter().map(|x| 32 + x.data.len()).sum();
+        let mut w = Writer::with_capacity(4 + total);
+        w.u32(self.results.len() as u32);
+        for x in &self.results {
+            w.u32(x.stream.raw()).u32(x.streamlet.raw()).u32(x.slot);
+            x.cursor.encode(&mut w);
+            w.len_prefixed(&x.data);
+        }
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let n = r.collection_len(28)?;
+        let mut results = Vec::with_capacity(n);
+        for _ in 0..n {
+            let stream = StreamId(r.u32()?);
+            let streamlet = StreamletId(r.u32()?);
+            let slot = r.u32()?;
+            let cursor = SlotCursor::decode(&mut r)?;
+            let data = Bytes::copy_from_slice(r.len_prefixed()?);
+            results.push(FetchResult { stream, streamlet, slot, cursor, data });
+        }
+        Ok(Self { results })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BackupWrite (virtual log replication)
+// ---------------------------------------------------------------------------
+
+/// Flags on a backup write.
+pub mod backup_flags {
+    /// First batch of this virtual segment: the backup must open a fresh
+    /// replicated segment.
+    pub const OPEN: u8 = 0b01;
+    /// Last batch: the virtual segment is closed; `vseg_checksum` is valid
+    /// and must be verified and persisted.
+    pub const CLOSE: u8 = 0b10;
+}
+
+/// Broker → backup: replicate a batch of chunks belonging to one virtual
+/// segment. The consolidated RPC at the heart of the paper: one such
+/// message can carry chunks of many streams' partitions.
+#[derive(Clone, Debug)]
+pub struct BackupWriteRequest {
+    pub source_broker: NodeId,
+    pub vlog: VirtualLogId,
+    pub vseg: VirtualSegmentId,
+    /// Byte offset of this batch within the replicated virtual segment;
+    /// lets the backup detect duplicates/reordering (idempotent retries).
+    pub vseg_offset: u32,
+    pub flags: u8,
+    /// Checksum-of-chunk-checksums for the whole virtual segment; valid
+    /// only when `flags & CLOSE`.
+    pub vseg_checksum: u32,
+    pub chunk_count: u32,
+    /// Packed serialized chunks (already broker-assigned).
+    pub chunks: Bytes,
+}
+
+impl BackupWriteRequest {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::with_capacity(33 + self.chunks.len());
+        w.u32(self.source_broker.raw())
+            .u32(self.vlog.raw())
+            .u64(self.vseg.raw())
+            .u32(self.vseg_offset)
+            .u8(self.flags)
+            .u32(self.vseg_checksum)
+            .u32(self.chunk_count)
+            .bytes(&self.chunks);
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let source_broker = NodeId(r.u32()?);
+        let vlog = VirtualLogId(r.u32()?);
+        let vseg = VirtualSegmentId(r.u64()?);
+        let vseg_offset = r.u32()?;
+        let flags = r.u8()?;
+        let vseg_checksum = r.u32()?;
+        let chunk_count = r.u32()?;
+        let chunks = Bytes::copy_from_slice(r.bytes(r.remaining())?);
+        Ok(Self { source_broker, vlog, vseg, vseg_offset, flags, vseg_checksum, chunk_count, chunks })
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackupWriteResponse {
+    /// Bytes of the virtual segment durably held after this write.
+    pub durable_offset: u32,
+}
+
+impl BackupWriteResponse {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.u32(self.durable_offset);
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        Ok(Self { durable_offset: Reader::new(buf).u32()? })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FollowerFetch (Kafka baseline, passive replication)
+// ---------------------------------------------------------------------------
+
+/// One partition's fetch position inside a follower fetch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FollowerFetchEntry {
+    pub stream: StreamId,
+    pub partition: StreamletId,
+    /// Follower's log-end byte offset — doubles as the replication ack:
+    /// the leader advances the partition high watermark from it.
+    pub fetch_offset: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct FollowerFetchRequest {
+    pub follower: NodeId,
+    /// `replica.fetch.max.bytes` per partition.
+    pub max_bytes_per_partition: u32,
+    pub entries: Vec<FollowerFetchEntry>,
+}
+
+impl FollowerFetchRequest {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::with_capacity(12 + self.entries.len() * 16);
+        w.u32(self.follower.raw())
+            .u32(self.max_bytes_per_partition)
+            .u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.u32(e.stream.raw()).u32(e.partition.raw()).u64(e.fetch_offset);
+        }
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let follower = NodeId(r.u32()?);
+        let max_bytes_per_partition = r.u32()?;
+        let n = r.collection_len(16)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(FollowerFetchEntry {
+                stream: StreamId(r.u32()?),
+                partition: StreamletId(r.u32()?),
+                fetch_offset: r.u64()?,
+            });
+        }
+        Ok(Self { follower, max_bytes_per_partition, entries })
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct FollowerFetchResult {
+    pub stream: StreamId,
+    pub partition: StreamletId,
+    /// Leader's high watermark for this partition (bytes).
+    pub high_watermark: u64,
+    /// Raw log bytes starting at the requested fetch offset.
+    pub data: Bytes,
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct FollowerFetchResponse {
+    pub results: Vec<FollowerFetchResult>,
+}
+
+impl FollowerFetchResponse {
+    pub fn encode(&self) -> Bytes {
+        let total: usize = self.results.iter().map(|x| 20 + x.data.len()).sum();
+        let mut w = Writer::with_capacity(4 + total);
+        w.u32(self.results.len() as u32);
+        for x in &self.results {
+            w.u32(x.stream.raw()).u32(x.partition.raw()).u64(x.high_watermark);
+            w.len_prefixed(&x.data);
+        }
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let n = r.collection_len(20)?;
+        let mut results = Vec::with_capacity(n);
+        for _ in 0..n {
+            let stream = StreamId(r.u32()?);
+            let partition = StreamletId(r.u32()?);
+            let high_watermark = r.u64()?;
+            let data = Bytes::copy_from_slice(r.len_prefixed()?);
+            results.push(FollowerFetchResult { stream, partition, high_watermark, data });
+        }
+        Ok(Self { results })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+/// Coordinator/recovery-master → backup: what do you hold for this broker?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryEnumerateRequest {
+    pub crashed_broker: NodeId,
+}
+
+impl RecoveryEnumerateRequest {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.u32(self.crashed_broker.raw());
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        Ok(Self { crashed_broker: NodeId(Reader::new(buf).u32()?) })
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicatedSegmentInfo {
+    pub vlog: VirtualLogId,
+    pub vseg: VirtualSegmentId,
+    pub len: u32,
+    pub closed: bool,
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryEnumerateResponse {
+    pub segments: Vec<ReplicatedSegmentInfo>,
+}
+
+impl RecoveryEnumerateResponse {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::with_capacity(4 + self.segments.len() * 17);
+        w.u32(self.segments.len() as u32);
+        for s in &self.segments {
+            w.u32(s.vlog.raw()).u64(s.vseg.raw()).u32(s.len).u8(s.closed as u8);
+        }
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let n = r.collection_len(17)?;
+        let mut segments = Vec::with_capacity(n);
+        for _ in 0..n {
+            segments.push(ReplicatedSegmentInfo {
+                vlog: VirtualLogId(r.u32()?),
+                vseg: VirtualSegmentId(r.u64()?),
+                len: r.u32()?,
+                closed: r.u8()? != 0,
+            });
+        }
+        Ok(Self { segments })
+    }
+}
+
+/// Recovery-master → backup: stream back one replicated virtual segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryReadRequest {
+    pub crashed_broker: NodeId,
+    pub vlog: VirtualLogId,
+    pub vseg: VirtualSegmentId,
+}
+
+impl RecoveryReadRequest {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.u32(self.crashed_broker.raw()).u32(self.vlog.raw()).u64(self.vseg.raw());
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        Ok(Self {
+            crashed_broker: NodeId(r.u32()?),
+            vlog: VirtualLogId(r.u32()?),
+            vseg: VirtualSegmentId(r.u64()?),
+        })
+    }
+}
+
+/// The replicated segment's packed chunks travel back as the raw response
+/// payload (no wrapper needed beyond the envelope).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReportCrashRequest {
+    pub node: NodeId,
+}
+
+impl ReportCrashRequest {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.u32(self.node.raw());
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        Ok(Self { node: NodeId(Reader::new(buf).u32()?) })
+    }
+}
+
+/// Client → broker: translate a logical record offset into a cursor
+/// (paper: "consumers can read at any offset"; served by the
+/// lightweight per-chunk offset index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeekRequest {
+    pub stream: StreamId,
+    pub streamlet: StreamletId,
+    pub slot: u32,
+    pub record_offset: u64,
+}
+
+impl SeekRequest {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.u32(self.stream.raw()).u32(self.streamlet.raw()).u32(self.slot).u64(self.record_offset);
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        Ok(Self {
+            stream: StreamId(r.u32()?),
+            streamlet: StreamletId(r.u32()?),
+            slot: r.u32()?,
+            record_offset: r.u64()?,
+        })
+    }
+}
+
+/// Cursor of the chunk covering the requested offset; `found = false`
+/// when the slot holds no data yet (start at the beginning).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeekResponse {
+    pub found: bool,
+    pub cursor: SlotCursor,
+}
+
+impl SeekResponse {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.u8(self.found as u8);
+        self.cursor.encode(&mut w);
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        Ok(Self { found: r.u8()? != 0, cursor: SlotCursor::decode(&mut r)? })
+    }
+}
+
+/// One streamlet reassigned by crash recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reassignment {
+    pub stream: StreamId,
+    pub streamlet: StreamletId,
+    pub new_broker: NodeId,
+}
+
+/// Coordinator → crash reporter: where the dead broker's streamlets went.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashReassignmentResponse {
+    pub reassignments: Vec<Reassignment>,
+}
+
+impl CrashReassignmentResponse {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::with_capacity(4 + self.reassignments.len() * 12);
+        w.u32(self.reassignments.len() as u32);
+        for r in &self.reassignments {
+            w.u32(r.stream.raw()).u32(r.streamlet.raw()).u32(r.new_broker.raw());
+        }
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let n = r.collection_len(12)?;
+        let mut reassignments = Vec::with_capacity(n);
+        for _ in 0..n {
+            reassignments.push(Reassignment {
+                stream: StreamId(r.u32()?),
+                streamlet: StreamletId(r.u32()?),
+                new_broker: NodeId(r.u32()?),
+            });
+        }
+        Ok(Self { reassignments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kera_common::config::VirtualLogPolicy;
+
+    fn sample_config() -> StreamConfig {
+        StreamConfig {
+            id: StreamId(3),
+            streamlets: 32,
+            active_groups: 4,
+            segments_per_group: 8,
+            segment_size: 1 << 20,
+            replication: ReplicationConfig {
+                factor: 3,
+                policy: VirtualLogPolicy::PerSubPartition,
+                vseg_size: 1 << 20,
+            },
+        }
+    }
+
+    #[test]
+    fn stream_config_roundtrip_all_policies() {
+        for policy in [
+            VirtualLogPolicy::SharedPerBroker(4),
+            VirtualLogPolicy::PerStreamlet,
+            VirtualLogPolicy::PerSubPartition,
+        ] {
+            let mut c = sample_config();
+            c.replication.policy = policy;
+            let mut w = Writer::new();
+            encode_stream_config(&mut w, &c);
+            let buf = w.finish();
+            let back = decode_stream_config(&mut Reader::new(&buf)).unwrap();
+            assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn create_stream_roundtrip() {
+        let req = CreateStreamRequest { config: sample_config() };
+        let back = CreateStreamRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn metadata_roundtrip_and_lookup() {
+        let md = StreamMetadata {
+            config: sample_config(),
+            placements: vec![
+                StreamletPlacement { streamlet: StreamletId(0), broker: NodeId(10) },
+                StreamletPlacement { streamlet: StreamletId(1), broker: NodeId(11) },
+                StreamletPlacement { streamlet: StreamletId(2), broker: NodeId(10) },
+            ],
+        };
+        let back = StreamMetadata::decode(&md.encode()).unwrap();
+        assert_eq!(back, md);
+        assert_eq!(back.broker_of(StreamletId(1)), Some(NodeId(11)));
+        assert_eq!(back.broker_of(StreamletId(9)), None);
+        assert_eq!(back.brokers(), vec![NodeId(10), NodeId(11)]);
+    }
+
+    #[test]
+    fn host_stream_roundtrip() {
+        let req = HostStreamRequest {
+            metadata: StreamMetadata {
+                config: sample_config(),
+                placements: vec![StreamletPlacement {
+                    streamlet: StreamletId(0),
+                    broker: NodeId(1),
+                }],
+            },
+            assignments: vec![
+                HostAssignment {
+                    streamlet: StreamletId(0),
+                    role: ReplicaRole::Leader,
+                    leader: NodeId(1),
+                },
+                HostAssignment {
+                    streamlet: StreamletId(1),
+                    role: ReplicaRole::Follower,
+                    leader: NodeId(2),
+                },
+            ],
+        };
+        let back = HostStreamRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn produce_roundtrip() {
+        let req = ProduceRequest {
+            producer: ProducerId(8),
+            recovery: true,
+            chunk_count: 2,
+            chunks: Bytes::from_static(b"fake-chunk-bytes"),
+        };
+        let back = ProduceRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back.producer, req.producer);
+        assert!(back.recovery);
+        assert_eq!(back.chunk_count, 2);
+        assert_eq!(back.chunks, req.chunks);
+    }
+
+    #[test]
+    fn produce_response_roundtrip() {
+        let resp = ProduceResponse {
+            acks: vec![ChunkAck {
+                stream: StreamId(1),
+                streamlet: StreamletId(2),
+                group: 3,
+                segment: 4,
+                base_offset: 500,
+                records: 6,
+            }],
+        };
+        let back = ProduceResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(back.acks, resp.acks);
+    }
+
+    #[test]
+    fn fetch_roundtrip() {
+        let req = FetchRequest {
+            consumer: ConsumerId(4),
+            entries: vec![FetchEntry {
+                stream: StreamId(1),
+                streamlet: StreamletId(2),
+                slot: 1,
+                cursor: SlotCursor { chain: 1, segment: 2, offset: 3 },
+                max_bytes: 65536,
+            }],
+        };
+        let back = FetchRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back.consumer, req.consumer);
+        assert_eq!(back.entries, req.entries);
+
+        let resp = FetchResponse {
+            results: vec![FetchResult {
+                stream: StreamId(1),
+                streamlet: StreamletId(2),
+                slot: 1,
+                cursor: SlotCursor { chain: 1, segment: 2, offset: 99 },
+                data: Bytes::from_static(b"packed"),
+            }],
+        };
+        let back = FetchResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(back.results.len(), 1);
+        assert_eq!(back.results[0].cursor.offset, 99);
+        assert_eq!(&back.results[0].data[..], b"packed");
+    }
+
+    #[test]
+    fn backup_write_roundtrip() {
+        let req = BackupWriteRequest {
+            source_broker: NodeId(1),
+            vlog: VirtualLogId(2),
+            vseg: VirtualSegmentId(3),
+            vseg_offset: 4096,
+            flags: backup_flags::OPEN | backup_flags::CLOSE,
+            vseg_checksum: 0xdead_beef,
+            chunk_count: 5,
+            chunks: Bytes::from_static(b"chunks"),
+        };
+        let back = BackupWriteRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back.source_broker, req.source_broker);
+        assert_eq!(back.vlog, req.vlog);
+        assert_eq!(back.vseg, req.vseg);
+        assert_eq!(back.vseg_offset, 4096);
+        assert_eq!(back.flags, req.flags);
+        assert_eq!(back.vseg_checksum, 0xdead_beef);
+        assert_eq!(back.chunk_count, 5);
+        assert_eq!(back.chunks, req.chunks);
+
+        let resp = BackupWriteResponse { durable_offset: 8192 };
+        assert_eq!(BackupWriteResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn follower_fetch_roundtrip() {
+        let req = FollowerFetchRequest {
+            follower: NodeId(3),
+            max_bytes_per_partition: 1 << 20,
+            entries: vec![FollowerFetchEntry {
+                stream: StreamId(1),
+                partition: StreamletId(0),
+                fetch_offset: 777,
+            }],
+        };
+        let back = FollowerFetchRequest::decode(&req.encode()).unwrap();
+        assert_eq!(back.follower, req.follower);
+        assert_eq!(back.entries, req.entries);
+
+        let resp = FollowerFetchResponse {
+            results: vec![FollowerFetchResult {
+                stream: StreamId(1),
+                partition: StreamletId(0),
+                high_watermark: 700,
+                data: Bytes::from_static(b"log-bytes"),
+            }],
+        };
+        let back = FollowerFetchResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(back.results[0].high_watermark, 700);
+        assert_eq!(&back.results[0].data[..], b"log-bytes");
+    }
+
+    #[test]
+    fn recovery_messages_roundtrip() {
+        let e = RecoveryEnumerateRequest { crashed_broker: NodeId(9) };
+        assert_eq!(RecoveryEnumerateRequest::decode(&e.encode()).unwrap(), e);
+
+        let resp = RecoveryEnumerateResponse {
+            segments: vec![ReplicatedSegmentInfo {
+                vlog: VirtualLogId(1),
+                vseg: VirtualSegmentId(2),
+                len: 3,
+                closed: true,
+            }],
+        };
+        let back = RecoveryEnumerateResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(back.segments, resp.segments);
+
+        let rr = RecoveryReadRequest {
+            crashed_broker: NodeId(9),
+            vlog: VirtualLogId(1),
+            vseg: VirtualSegmentId(2),
+        };
+        assert_eq!(RecoveryReadRequest::decode(&rr.encode()).unwrap(), rr);
+
+        let rc = ReportCrashRequest { node: NodeId(5) };
+        assert_eq!(ReportCrashRequest::decode(&rc.encode()).unwrap(), rc);
+    }
+
+    #[test]
+    fn seek_roundtrip() {
+        let req = SeekRequest {
+            stream: StreamId(1),
+            streamlet: StreamletId(2),
+            slot: 3,
+            record_offset: 12345,
+        };
+        assert_eq!(SeekRequest::decode(&req.encode()).unwrap(), req);
+        let resp = SeekResponse {
+            found: true,
+            cursor: SlotCursor { chain: 1, segment: 2, offset: 3 },
+        };
+        assert_eq!(SeekResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn crash_reassignment_roundtrip() {
+        let resp = CrashReassignmentResponse {
+            reassignments: vec![Reassignment {
+                stream: StreamId(1),
+                streamlet: StreamletId(2),
+                new_broker: NodeId(3),
+            }],
+        };
+        assert_eq!(CrashReassignmentResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let req = FetchRequest {
+            consumer: ConsumerId(4),
+            entries: vec![FetchEntry {
+                stream: StreamId(1),
+                streamlet: StreamletId(2),
+                slot: 0,
+                cursor: SlotCursor::START,
+                max_bytes: 1,
+            }],
+        };
+        let buf = req.encode();
+        assert!(FetchRequest::decode(&buf[..buf.len() - 2]).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! The chunk-size / linger trade-off (paper §II-B: "the chunk size, the
+//! request size, the timeout and the number of parallel producer requests
+//! are chosen such that the latency is minimized under a certain
+//! threshold while maximizing the throughput").
+//!
+//! Sweeps chunk size and linger on a fixed R3 cluster and prints the
+//! resulting throughput and mean request latency.
+//!
+//! ```sh
+//! cargo run --release --example latency_vs_throughput
+//! ```
+
+use std::time::Duration;
+
+use kera::harness::experiment::{run_experiment, ExperimentConfig};
+
+fn main() -> kera::common::Result<()> {
+    println!(
+        "{:>9} {:>10} {:>12} {:>14} {:>14}",
+        "chunk", "linger", "Mrec/s", "req-lat(us)", "consolidation"
+    );
+    for &chunk_kb in &[1usize, 4, 16, 64] {
+        for &linger_us in &[100u64, 1_000, 10_000] {
+            let cfg = ExperimentConfig {
+                producers: 4,
+                consumers: 4,
+                streams: 16,
+                streamlets_per_stream: 1,
+                chunk_size: chunk_kb * 1024,
+                linger: Duration::from_micros(linger_us),
+                replication_factor: 3,
+                warmup: Duration::from_millis(400),
+                measure: Duration::from_millis(1200),
+                ..ExperimentConfig::default()
+            };
+            let m = run_experiment(&cfg)?;
+            println!(
+                "{:>7}KB {:>8}us {:>12.3} {:>14.0} {:>14.1}",
+                chunk_kb,
+                linger_us,
+                m.mrecords_per_sec(),
+                m.mean_request_latency_us,
+                m.consolidation(),
+            );
+        }
+    }
+    println!("\nsmall chunks + short linger: lower per-record latency, lower throughput;");
+    println!("large chunks + long linger: higher throughput per request, higher latency.");
+    Ok(())
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Summarizes results/figNN.tsv into the paper-shape checks that
+EXPERIMENTS.md records. Usage: python3 scripts/summarize_results.py [results_dir]."""
+import csv
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def load(path):
+    rows = []
+    with open(path) as f:
+        for row in csv.DictReader(f, delimiter="\t"):
+            row["mrps"] = float(row["mrecords_per_sec"])
+            rows.append(row)
+    return rows
+
+
+def by_series(rows):
+    out = defaultdict(dict)
+    for r in rows:
+        out[r["series"]][r["x"]] = r["mrps"]
+    return out
+
+
+def ratio(a, b):
+    return a / b if b > 0 else float("inf")
+
+
+def main():
+    results = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    figs = {p.stem: by_series(load(p)) for p in sorted(results.glob("fig*.tsv"))}
+
+    for fig, series in figs.items():
+        print(f"\n== {fig} ==")
+        for name, pts in sorted(series.items()):
+            line = "  ".join(f"{x}:{v:.3f}" for x, v in pts.items())
+            print(f"  {name:<16} {line}")
+
+    # Headline shape checks.
+    print("\n== shape checks ==")
+    if "fig08" in figs:
+        f = figs["fig08"]
+        for x in f.get("KerA R3", {}):
+            k, ka = f["KerA R3"].get(x, 0), f["Kafka R3"].get(x, 0)
+            print(f"fig08 R3 @{x} streams: KerA/Kafka = {ratio(k, ka):.2f}x")
+    if "fig10" in figs:
+        f = figs["fig10"]
+        for x in f.get("KerA 4 vlogs", {}):
+            k, ka = f["KerA 4 vlogs"].get(x, 0), f["Kafka"].get(x, 0)
+            print(f"fig10 @{x} streams: KerA-4vlog/Kafka = {ratio(k, ka):.2f}x")
+    if "fig11" in figs:
+        f = figs["fig11"]
+        for x in f.get("KerA", {}):
+            print(f"fig11 @{x}: KerA/Kafka = {ratio(f['KerA'][x], f['Kafka'].get(x, 0)):.2f}x")
+    if "fig13" in figs:
+        f = figs["fig13"]
+        for x in f.get("1 vlogs", {}):
+            r = ratio(f.get("4 vlogs", {}).get(x, 0), f["1 vlogs"][x])
+            print(f"fig13 @{x} streams: 4vlogs/1vlog = {r:.2f}x")
+    for fig in ("fig14", "fig15", "fig16"):
+        if fig in figs and "R3" in figs[fig]:
+            pts = figs[fig]["R3"]
+            xs = sorted(pts, key=lambda v: int(v))
+            best = max(pts.values())
+            last = pts[xs[-1]]
+            print(f"{fig} R3: best {best:.3f}, at max vlogs {last:.3f} "
+                  f"(drop {100 * (1 - last / best):.0f}%)")
+    for fig in ("fig17", "fig18", "fig19", "fig20"):
+        if fig in figs and "R3" in figs[fig]:
+            pts = figs[fig]["R3"]
+            print(f"{fig} R3 by chunk: " + "  ".join(f"{x}:{v:.3f}" for x, v in pts.items()))
+    if "fig21" in figs:
+        for name, pts in figs["fig21"].items():
+            print(f"fig21 {name}: " + "  ".join(f"{x}:{v:.3f}" for x, v in sorted(
+                pts.items(), key=lambda kv: int(kv[0]))))
+
+
+if __name__ == "__main__":
+    main()

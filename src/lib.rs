@@ -1,0 +1,15 @@
+//! # kera — virtual log-structured stream storage
+//!
+//! Facade crate re-exporting the whole workspace. See the README for an
+//! architecture overview and `DESIGN.md` for the paper-to-module map.
+
+pub use kera_broker as broker;
+pub use kera_client as client;
+pub use kera_common as common;
+pub use kera_harness as harness;
+pub use kera_kafka_sim as kafka_sim;
+pub use kera_recovery as recovery;
+pub use kera_rpc as rpc;
+pub use kera_storage as storage;
+pub use kera_vlog as vlog;
+pub use kera_wire as wire;

@@ -286,7 +286,7 @@ mod tests {
     fn write_appends_and_acks() {
         let b = BackupService::new(NodeId(100), None);
         let (c, _) = chunk_bytes(2);
-        let resp = b.handle_write(write_req(0, backup_flags::OPEN, 0, &[c.clone()])).unwrap();
+        let resp = b.handle_write(write_req(0, backup_flags::OPEN, 0, std::slice::from_ref(&c))).unwrap();
         assert_eq!(resp.durable_offset as usize, c.len());
         assert_eq!(b.segment_count(), 1);
         assert_eq!(b.bytes_held(), c.len());
@@ -296,9 +296,9 @@ mod tests {
     fn duplicate_write_is_idempotent() {
         let b = BackupService::new(NodeId(100), None);
         let (c, _) = chunk_bytes(1);
-        b.handle_write(write_req(0, backup_flags::OPEN, 0, &[c.clone()])).unwrap();
+        b.handle_write(write_req(0, backup_flags::OPEN, 0, std::slice::from_ref(&c))).unwrap();
         // Retry of the same batch.
-        let resp = b.handle_write(write_req(0, 0, 0, &[c.clone()])).unwrap();
+        let resp = b.handle_write(write_req(0, 0, 0, std::slice::from_ref(&c))).unwrap();
         assert_eq!(resp.durable_offset as usize, c.len());
         assert_eq!(b.bytes_held(), c.len(), "duplicate must not double-append");
     }
@@ -336,16 +336,16 @@ mod tests {
         crc.update_u32(k2);
         let good = crc.finish();
 
-        b.handle_write(write_req(0, backup_flags::OPEN, 0, &[c1.clone()])).unwrap();
+        b.handle_write(write_req(0, backup_flags::OPEN, 0, std::slice::from_ref(&c1))).unwrap();
         // Wrong checksum on close: corruption.
         let err = b
-            .handle_write(write_req(c1.len() as u32, backup_flags::CLOSE, 0xbad, &[c2.clone()]))
+            .handle_write(write_req(c1.len() as u32, backup_flags::CLOSE, 0xbad, std::slice::from_ref(&c2)))
             .unwrap_err();
         assert!(matches!(err, KeraError::Corruption { .. }));
 
         // Fresh service, correct close.
         let b = BackupService::new(NodeId(100), None);
-        b.handle_write(write_req(0, backup_flags::OPEN, 0, &[c1.clone()])).unwrap();
+        b.handle_write(write_req(0, backup_flags::OPEN, 0, std::slice::from_ref(&c1))).unwrap();
         b.handle_write(write_req(c1.len() as u32, backup_flags::CLOSE, good, &[c2])).unwrap();
     }
 
@@ -353,7 +353,7 @@ mod tests {
     fn enumerate_and_recovery_read() {
         let b = BackupService::new(NodeId(100), None);
         let (c, _) = chunk_bytes(3);
-        b.handle_write(write_req(0, backup_flags::OPEN, 0, &[c.clone()])).unwrap();
+        b.handle_write(write_req(0, backup_flags::OPEN, 0, std::slice::from_ref(&c))).unwrap();
         let resp = b.handle_enumerate(RecoveryEnumerateRequest { crashed_broker: NodeId(1) });
         assert_eq!(resp.segments.len(), 1);
         assert_eq!(resp.segments[0].len as usize, c.len());
@@ -398,9 +398,12 @@ mod tests {
         let (c, k) = chunk_bytes(2);
         let mut crc = Crc32c::new();
         crc.update_u32(k);
-        b.handle_write(write_req(0, backup_flags::OPEN | backup_flags::CLOSE, crc.finish(), &[
-            c.clone(),
-        ]))
+        b.handle_write(write_req(
+            0,
+            backup_flags::OPEN | backup_flags::CLOSE,
+            crc.finish(),
+            std::slice::from_ref(&c),
+        ))
         .unwrap();
         // Force the flusher to drain by dropping the service (drops flusher).
         drop(b);

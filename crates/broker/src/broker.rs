@@ -136,7 +136,11 @@ impl BrokerService {
         Ok(())
     }
 
-    fn handle_produce(&self, req: ProduceRequest) -> Result<ProduceResponse> {
+    fn handle_produce(
+        &self,
+        req: ProduceRequest,
+        durability_timeout: Duration,
+    ) -> Result<ProduceResponse> {
         let mut acks = Vec::with_capacity(req.chunk_count as usize);
         // Touched virtual logs, deduped, with the highest ticket each.
         let mut pending: Vec<(Arc<VirtualLog>, u64)> = Vec::new();
@@ -199,7 +203,7 @@ impl BrokerService {
                 driver.enqueue(vlog);
             }
             for (vlog, ticket) in &pending {
-                vlog.wait_durable(*ticket, REPLICATION_TIMEOUT)?;
+                vlog.wait_durable(*ticket, durability_timeout)?;
             }
         }
         Ok(ProduceResponse { acks })
@@ -266,7 +270,13 @@ impl Service for BrokerService {
             // request" (paper §IV-B).
             OpCode::Produce | OpCode::RecoveryIngest => {
                 let req = ProduceRequest::decode(&payload)?;
-                Ok(self.handle_produce(req)?.encode())
+                // Don't block on durability longer than the caller is
+                // willing to wait (propagated deadline), nor longer than
+                // the replication timeout.
+                let timeout = ctx
+                    .remaining()
+                    .map_or(REPLICATION_TIMEOUT, |r| r.min(REPLICATION_TIMEOUT));
+                Ok(self.handle_produce(req, timeout)?.encode())
             }
             OpCode::Fetch => {
                 let req = FetchRequest::decode(&payload)?;

@@ -1,8 +1,15 @@
 //! The real replication channel: one `BackupWrite` RPC per backup, fanned
 //! out in parallel ("it also sends (replicates) the chunk in parallel to
 //! the backups", paper §II-B).
+//!
+//! Transient loss is the RPC plane's problem: each fan-out call
+//! retransmits its request id under the node's retry policy, and the
+//! backup's at-most-once cache absorbs the duplicates. Only when the
+//! overall replication budget (or the retransmission budget) runs out
+//! does a backup's failure normalize to `Disconnected(backup)`, which
+//! is the virtual log's signal to re-replicate around the node.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use kera_common::ids::NodeId;
 use kera_common::{KeraError, Result};
@@ -31,20 +38,28 @@ impl BackupChannel for RpcBackupChannel {
     ) -> Result<BackupWriteResponse> {
         // Encode once; the payload Bytes is shared by all fan-out sends.
         let payload = req.encode();
+        let overall = Instant::now() + self.timeout;
         let calls: Vec<_> = backups
             .iter()
             .map(|&b| (b, self.client.call_async(b, OpCode::BackupWrite, payload.clone())))
             .collect();
         let mut last = BackupWriteResponse { durable_offset: 0 };
         for (backup, call) in calls {
-            let resp = call.wait(self.timeout).map_err(|e| match e {
-                // Normalize failures to Disconnected(backup) so the
-                // virtual log can re-replicate around the dead node.
-                KeraError::Disconnected(_) | KeraError::Timeout { .. } => {
-                    KeraError::Disconnected(backup)
+            let remaining = overall.saturating_duration_since(Instant::now());
+            let resp = match call.wait(remaining) {
+                Ok(resp) => resp,
+                Err(e) => {
+                    return Err(match e {
+                        // Normalize exhausted transient failures to
+                        // Disconnected(backup) so the virtual log can
+                        // re-replicate around the dead node.
+                        KeraError::Disconnected(_) | KeraError::Timeout { .. } => {
+                            KeraError::Disconnected(backup)
+                        }
+                        other => other,
+                    });
                 }
-                other => other,
-            })?;
+            };
             last = BackupWriteResponse::decode(&resp)?;
         }
         Ok(last)

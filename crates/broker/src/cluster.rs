@@ -10,7 +10,7 @@ use kera_common::config::{ClusterConfig, TransportChoice};
 use kera_common::ids::NodeId;
 use kera_common::Result;
 use kera_rpc::network::TransportKind;
-use kera_rpc::{AnyNetwork, NodeRuntime, NullService};
+use kera_rpc::{AnyNetwork, FaultInjector, FaultPlan, NodeRuntime, NullService, Transport};
 use kera_storage::flush::DiskFlusher;
 
 use crate::backup::BackupService;
@@ -39,6 +39,7 @@ pub const fn client_node(i: u32) -> NodeId {
 pub struct KeraCluster {
     pub net: AnyNetwork,
     config: ClusterConfig,
+    fault_plan: Option<FaultPlan>,
     coordinator_rt: Option<NodeRuntime>,
     broker_rts: Vec<Option<NodeRuntime>>,
     backup_rts: Vec<Option<NodeRuntime>>,
@@ -55,10 +56,23 @@ impl KeraCluster {
             TransportChoice::InMemory => TransportKind::InMemory,
             TransportChoice::Tcp => TransportKind::Tcp,
         };
-        let net = AnyNetwork::new(kind, config.network);
+        let net = AnyNetwork::with_max_frame(kind, config.network, config.max_frame_bytes);
+        // With a fault profile configured, every node's transport —
+        // coordinator, brokers, backups and clients — goes through a
+        // FaultInjector sharing one plan, so replication, re-replication
+        // and recovery all run over the same lossy fabric.
+        let fault_plan = config.faults.map(FaultPlan::new);
         let b = config.brokers;
         let broker_ids: Vec<NodeId> = (0..b).map(broker_node).collect();
         let backup_ids: Vec<NodeId> = (0..b).map(backup_node).collect();
+
+        let register = |id: NodeId| -> Result<Arc<dyn Transport>> {
+            let transport = net.register(id)?;
+            Ok(match &fault_plan {
+                Some(plan) => Arc::new(FaultInjector::new(transport, plan.clone())),
+                None => transport,
+            })
+        };
 
         // Backups first (brokers replicate into them).
         let mut backup_svcs = Vec::with_capacity(b as usize);
@@ -69,10 +83,11 @@ impl KeraCluster {
                 None => None,
             };
             let svc = BackupService::with_io_cost(backup_node(i), flusher, config.io_cost_ns);
-            let rt = NodeRuntime::start(
-                net.register(backup_node(i))?,
+            let rt = NodeRuntime::start_with_policy(
+                register(backup_node(i))?,
                 Arc::clone(&svc) as Arc<dyn kera_rpc::Service>,
                 config.worker_threads,
+                config.retry,
             );
             backup_svcs.push(svc);
             backup_rts.push(Some(rt));
@@ -83,10 +98,11 @@ impl KeraCluster {
         let mut broker_rts = Vec::with_capacity(b as usize);
         for i in 0..b {
             let svc = BrokerService::new(broker_node(i), backup_node(i), backup_ids.clone());
-            let rt = NodeRuntime::start(
-                net.register(broker_node(i))?,
+            let rt = NodeRuntime::start_with_policy(
+                register(broker_node(i))?,
                 Arc::clone(&svc) as Arc<dyn kera_rpc::Service>,
                 config.worker_threads,
+                config.retry,
             );
             svc.attach_client(rt.client());
             broker_svcs.push(svc);
@@ -95,16 +111,18 @@ impl KeraCluster {
 
         // Coordinator.
         let coordinator_svc = CoordinatorService::new(COORDINATOR, broker_ids);
-        let coordinator_rt = NodeRuntime::start(
-            net.register(COORDINATOR)?,
+        let coordinator_rt = NodeRuntime::start_with_policy(
+            register(COORDINATOR)?,
             Arc::clone(&coordinator_svc) as Arc<dyn kera_rpc::Service>,
             2,
+            config.retry,
         );
         coordinator_svc.attach_client(coordinator_rt.client());
 
         Ok(KeraCluster {
             net,
             config,
+            fault_plan,
             coordinator_rt: Some(coordinator_rt),
             broker_rts,
             backup_rts,
@@ -134,14 +152,23 @@ impl KeraCluster {
         (0..self.config.brokers).map(backup_node).collect()
     }
 
+    /// The shared fault plan, when the cluster was started with a
+    /// [`kera_common::config::FaultProfile`]. Tests use it to create and
+    /// heal partitions and to assert faults actually fired.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
     /// Registers a pure client node on the fabric (producers, consumers,
-    /// the recovery manager, test drivers).
+    /// the recovery manager, test drivers). Client traffic crosses the
+    /// same fault injector as server traffic.
     pub fn client(&self, i: u32) -> NodeRuntime {
-        NodeRuntime::start(
-            self.net.register(client_node(i)).expect("register client node"),
-            Arc::new(NullService),
-            1,
-        )
+        let transport = self.net.register(client_node(i)).expect("register client node");
+        let transport: Arc<dyn Transport> = match &self.fault_plan {
+            Some(plan) => Arc::new(FaultInjector::new(transport, plan.clone())),
+            None => transport,
+        };
+        NodeRuntime::start_with_policy(transport, Arc::new(NullService), 1, self.config.retry)
     }
 
     /// Kills server `i`: both its broker and its co-located backup vanish
@@ -254,9 +281,11 @@ mod tests {
 
     #[test]
     fn end_to_end_produce_fetch_r3() {
-        let mut cfg = ClusterConfig::default();
-        cfg.brokers = 4;
-        cfg.worker_threads = 2;
+        let cfg = ClusterConfig {
+            brokers: 4,
+            worker_threads: 2,
+            ..ClusterConfig::default()
+        };
         let cluster = KeraCluster::start(cfg).unwrap();
         let client_rt = cluster.client(0);
         let client = client_rt.client();
@@ -321,9 +350,11 @@ mod tests {
 
     #[test]
     fn r1_skips_backups_entirely() {
-        let mut cfg = ClusterConfig::default();
-        cfg.brokers = 2;
-        cfg.worker_threads = 2;
+        let cfg = ClusterConfig {
+            brokers: 2,
+            worker_threads: 2,
+            ..ClusterConfig::default()
+        };
         let cluster = KeraCluster::start(cfg).unwrap();
         let client_rt = cluster.client(0);
         let client = client_rt.client();
@@ -365,8 +396,7 @@ mod tests {
 
     #[test]
     fn unknown_stream_errors_propagate() {
-        let mut cfg = ClusterConfig::default();
-        cfg.brokers = 1;
+        let cfg = ClusterConfig { brokers: 1, ..ClusterConfig::default() };
         let cluster = KeraCluster::start(cfg).unwrap();
         let client_rt = cluster.client(0);
         let client = client_rt.client();
@@ -397,8 +427,7 @@ mod tests {
 
     #[test]
     fn duplicate_stream_creation_fails() {
-        let mut cfg = ClusterConfig::default();
-        cfg.brokers = 2;
+        let cfg = ClusterConfig { brokers: 2, ..ClusterConfig::default() };
         let cluster = KeraCluster::start(cfg).unwrap();
         let client_rt = cluster.client(0);
         let client = client_rt.client();
@@ -427,9 +456,11 @@ mod tests {
     fn consumers_never_see_unreplicated_data() {
         // With R3 but all backups crashed, producing fails and consumers
         // see nothing.
-        let mut cfg = ClusterConfig::default();
-        cfg.brokers = 3;
-        cfg.worker_threads = 2;
+        let cfg = ClusterConfig {
+            brokers: 3,
+            worker_threads: 2,
+            ..ClusterConfig::default()
+        };
         let mut cluster = KeraCluster::start(cfg).unwrap();
         let client_rt = cluster.client(0);
         let client = client_rt.client();

@@ -177,6 +177,118 @@ impl NetworkModel {
     }
 }
 
+/// Retry discipline for synchronous RPCs (`RpcClient::call` and the
+/// replication fan-out): bounded attempts with exponential backoff and
+/// deterministic jitter, all under one overall per-call deadline.
+///
+/// The overall deadline is the `timeout` the caller passes to `call`;
+/// this policy only shapes *how* that budget is spent. A transient
+/// drop/timeout consumes one attempt and one backoff; non-retriable
+/// errors (protocol, unknown stream, ...) surface immediately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`1` = no retries).
+    pub max_attempts: u32,
+    /// Cap on the time spent waiting for any single attempt's response;
+    /// the effective per-attempt timeout is the smaller of this and the
+    /// remaining overall budget.
+    pub attempt_timeout: std::time::Duration,
+    /// Backoff before the second attempt; doubles per attempt.
+    pub initial_backoff: std::time::Duration,
+    /// Upper bound on the (pre-jitter) backoff.
+    pub max_backoff: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            attempt_timeout: std::time::Duration::from_secs(1),
+            initial_backoff: std::time::Duration::from_millis(5),
+            max_backoff: std::time::Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that restores the old single-shot behaviour.
+    pub fn no_retries() -> Self {
+        Self { max_attempts: 1, ..Self::default() }
+    }
+
+    /// The pre-jitter backoff before attempt `attempt` (0-based; attempt
+    /// 0 has no backoff).
+    pub fn backoff_for(&self, attempt: u32) -> std::time::Duration {
+        if attempt == 0 {
+            return std::time::Duration::ZERO;
+        }
+        let exp = self.initial_backoff.saturating_mul(1u32 << (attempt - 1).min(16));
+        exp.min(self.max_backoff)
+    }
+
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(KeraError::InvalidConfig("retry policy needs at least one attempt".into()));
+        }
+        if self.attempt_timeout.is_zero() {
+            return Err(KeraError::InvalidConfig("attempt timeout must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Fault-injection rates for the chaos transport wrapper (`kera-rpc`'s
+/// `FaultInjector`). All rates are independent per-message
+/// probabilities in `[0, 1]`; everything is driven by a deterministic
+/// RNG derived from `seed`, so a failing run reproduces exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultProfile {
+    /// Seed for the per-node decision RNGs.
+    pub seed: u64,
+    /// Probability a message is silently dropped (black-holed).
+    pub drop_rate: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate_rate: f64,
+    /// Probability a message is delayed by up to `max_delay`.
+    pub delay_rate: f64,
+    /// Upper bound on injected delay.
+    pub max_delay: std::time::Duration,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay: std::time::Duration::from_millis(2),
+        }
+    }
+}
+
+impl FaultProfile {
+    pub fn validate(&self) -> Result<()> {
+        for (name, rate) in [
+            ("drop_rate", self.drop_rate),
+            ("duplicate_rate", self.duplicate_rate),
+            ("delay_rate", self.delay_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(KeraError::InvalidConfig(format!(
+                    "{name} must be within [0, 1], got {rate}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Default cap on a single RPC frame accepted by stream transports.
+/// Large enough for a max-size produce batch, small enough that a
+/// corrupt or hostile length prefix cannot trigger a giant allocation.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
 /// Which fabric the cluster's nodes talk over.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum TransportChoice {
@@ -213,6 +325,13 @@ pub struct ClusterConfig {
     /// disables disk entirely (pure in-memory experiments, as the produce
     /// path never depends on disk anyway).
     pub flush_dir: Option<std::path::PathBuf>,
+    /// Retry/backoff discipline applied by every node's RPC client.
+    pub retry: RetryPolicy,
+    /// Fault-injection profile; `None` runs the cluster fault-free.
+    pub faults: Option<FaultProfile>,
+    /// Largest RPC frame a stream transport will accept before dropping
+    /// the connection (guards against corrupt/hostile length prefixes).
+    pub max_frame_bytes: usize,
 }
 
 impl Default for ClusterConfig {
@@ -224,6 +343,9 @@ impl Default for ClusterConfig {
             network: NetworkModel::default(),
             io_cost_ns: 0,
             flush_dir: None,
+            retry: RetryPolicy::default(),
+            faults: None,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
         }
     }
 }
@@ -235,6 +357,15 @@ impl ClusterConfig {
         }
         if self.worker_threads == 0 {
             return Err(KeraError::InvalidConfig("brokers need at least one worker thread".into()));
+        }
+        self.retry.validate()?;
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
+        }
+        if self.max_frame_bytes < 1024 {
+            return Err(KeraError::InvalidConfig(
+                "max_frame_bytes must allow at least a small frame (>= 1024)".into(),
+            ));
         }
         Ok(())
     }
@@ -253,29 +384,54 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut r = ReplicationConfig::default();
-        r.factor = 0;
+        let mut r = ReplicationConfig { factor: 0, ..ReplicationConfig::default() };
         assert!(r.validate().is_err());
         r.factor = 3;
         r.policy = VirtualLogPolicy::SharedPerBroker(0);
         assert!(r.validate().is_err());
 
-        let mut s = StreamConfig::default();
-        s.streamlets = 0;
+        let mut s = StreamConfig { streamlets: 0, ..StreamConfig::default() };
         assert!(s.validate().is_err());
         s.streamlets = 4;
         s.active_groups = 0;
         assert!(s.validate().is_err());
 
+        let c = ClusterConfig { brokers: 0, ..ClusterConfig::default() };
+        assert!(c.validate().is_err());
+
         let mut c = ClusterConfig::default();
-        c.brokers = 0;
+        c.retry.max_attempts = 0;
+        assert!(c.validate().is_err());
+
+        let c = ClusterConfig {
+            faults: Some(FaultProfile { drop_rate: 1.5, ..FaultProfile::default() }),
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = ClusterConfig { max_frame_bytes: 16, ..ClusterConfig::default() };
         assert!(c.validate().is_err());
     }
 
     #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            attempt_timeout: std::time::Duration::from_secs(1),
+            initial_backoff: std::time::Duration::from_millis(10),
+            max_backoff: std::time::Duration::from_millis(50),
+        };
+        assert_eq!(p.backoff_for(0), std::time::Duration::ZERO);
+        assert_eq!(p.backoff_for(1), std::time::Duration::from_millis(10));
+        assert_eq!(p.backoff_for(2), std::time::Duration::from_millis(20));
+        assert_eq!(p.backoff_for(3), std::time::Duration::from_millis(40));
+        assert_eq!(p.backoff_for(4), std::time::Duration::from_millis(50));
+        assert_eq!(p.backoff_for(7), std::time::Duration::from_millis(50));
+    }
+
+    #[test]
     fn backup_copies() {
-        let mut r = ReplicationConfig::default();
-        r.factor = 3;
+        let mut r = ReplicationConfig { factor: 3, ..ReplicationConfig::default() };
         assert_eq!(r.backup_copies(), 2);
         r.factor = 1;
         assert_eq!(r.backup_copies(), 0);

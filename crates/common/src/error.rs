@@ -129,7 +129,7 @@ mod tests {
 
     #[test]
     fn io_error_converts_and_chains() {
-        let e: KeraError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        let e: KeraError = io::Error::other("boom").into();
         assert!(matches!(e, KeraError::Io(_)));
         assert!(std::error::Error::source(&e).is_some());
     }

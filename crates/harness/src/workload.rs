@@ -28,8 +28,10 @@ impl RecordPool {
         Self { payloads, next: 0 }
     }
 
-    /// Next payload (round-robin over the pool).
+    /// Next payload (round-robin over the pool). Not an `Iterator`:
+    /// returns a borrow of the pool, never exhausts.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> &[u8] {
         let p = &self.payloads[self.next];
         self.next = (self.next + 1) % self.payloads.len();

@@ -226,11 +226,9 @@ mod tests {
 
     #[test]
     fn end_to_end_acks_all_roundtrip() {
-        let mut cfg = ClusterConfig::default();
-        cfg.brokers = 3;
-        cfg.worker_threads = 4;
-        let mut tuning = KafkaTuning::default();
-        tuning.fetch_wait = Duration::from_millis(100);
+        let cfg = ClusterConfig { brokers: 3, worker_threads: 4, ..ClusterConfig::default() };
+        let tuning =
+            KafkaTuning { fetch_wait: Duration::from_millis(100), ..KafkaTuning::default() };
         let cluster = KafkaCluster::start(cfg, tuning).unwrap();
         let client_rt = cluster.client(0);
         let client = client_rt.client();
@@ -320,8 +318,7 @@ mod tests {
 
     #[test]
     fn factor_above_broker_count_is_rejected() {
-        let mut cfg = ClusterConfig::default();
-        cfg.brokers = 2;
+        let cfg = ClusterConfig { brokers: 2, ..ClusterConfig::default() };
         let cluster = KafkaCluster::start(cfg, KafkaTuning::default()).unwrap();
         let client_rt = cluster.client(0);
         let err = client_rt
@@ -339,8 +336,7 @@ mod tests {
 
     #[test]
     fn r1_topic_needs_no_followers() {
-        let mut cfg = ClusterConfig::default();
-        cfg.brokers = 2;
+        let cfg = ClusterConfig { brokers: 2, ..ClusterConfig::default() };
         let cluster = KafkaCluster::start(cfg, KafkaTuning::default()).unwrap();
         let client_rt = cluster.client(0);
         let client = client_rt.client();
@@ -383,10 +379,9 @@ mod tests {
         // Kill the followers' fetchers by never creating them: topic R3
         // on a 3-broker cluster, then crash the follower replica services
         // before producing. Produce must time out; nothing readable.
-        let mut cfg = ClusterConfig::default();
-        cfg.brokers = 3;
-        let mut tuning = KafkaTuning::default();
-        tuning.ack_timeout = Duration::from_millis(300);
+        let cfg = ClusterConfig { brokers: 3, ..ClusterConfig::default() };
+        let tuning =
+            KafkaTuning { ack_timeout: Duration::from_millis(300), ..KafkaTuning::default() };
         let cluster = KafkaCluster::start(cfg, tuning).unwrap();
         let client_rt = cluster.client(0);
         let client = client_rt.client();

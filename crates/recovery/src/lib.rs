@@ -199,14 +199,16 @@ impl RecoveryManager {
                                 "backup held an unassigned chunk".into(),
                             ));
                         }
-                        if !meta_cache.contains_key(&h.stream) {
+                        if let std::collections::hash_map::Entry::Vacant(slot) =
+                            meta_cache.entry(h.stream)
+                        {
                             let payload = self.rpc.call(
                                 self.coordinator,
                                 OpCode::GetMetadata,
                                 GetMetadataRequest { stream: h.stream }.encode(),
                                 self.cfg.call_timeout,
                             )?;
-                            meta_cache.insert(h.stream, StreamMetadata::decode(&payload)?);
+                            slot.insert(StreamMetadata::decode(&payload)?);
                         }
                         let md = &meta_cache[&h.stream];
                         let q = md.config.active_groups.max(1);

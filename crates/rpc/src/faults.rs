@@ -1,0 +1,409 @@
+//! Fault injection at the transport seam.
+//!
+//! [`FaultInjector`] wraps any [`Transport`] and perturbs its sends:
+//! messages can be silently dropped, delivered twice, delayed (which
+//! also reorders them relative to later sends), or black-holed by a
+//! per-direction partition. Faults happen *below* the RPC layer, so the
+//! retry/backoff and at-most-once machinery in [`crate::node`] sees
+//! exactly what a lossy network would produce.
+//!
+//! All probabilistic decisions come from a [`SplitMix64`] seeded per
+//! node from the shared [`FaultProfile::seed`], so a given seed yields
+//! the same fault pattern for the same per-node send sequence — failing
+//! chaos tests reproduce.
+
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use kera_common::config::FaultProfile;
+use kera_common::ids::NodeId;
+use kera_common::metrics::Counter;
+use kera_common::rng::SplitMix64;
+use kera_common::Result;
+use kera_wire::frames::Envelope;
+use parking_lot::Mutex;
+
+use crate::transport::Transport;
+
+/// Shared fault state for a cluster: the rate profile, the set of
+/// active partitions, and counters for what was actually injected.
+/// Cloning shares the underlying plan, so tests can hold one handle
+/// while every node's injector consults the same partitions.
+#[derive(Clone)]
+pub struct FaultPlan {
+    inner: Arc<PlanInner>,
+}
+
+struct PlanInner {
+    profile: FaultProfile,
+    /// Directed blocked links: a `(src, dst)` entry black-holes
+    /// everything src sends toward dst.
+    partitions: Mutex<HashSet<(NodeId, NodeId)>>,
+    dropped: Counter,
+    duplicated: Counter,
+    delayed: Counter,
+    blocked: Counter,
+}
+
+impl FaultPlan {
+    pub fn new(profile: FaultProfile) -> FaultPlan {
+        profile.validate().expect("invalid fault profile");
+        FaultPlan {
+            inner: Arc::new(PlanInner {
+                profile,
+                partitions: Mutex::new(HashSet::new()),
+                dropped: Counter::new(),
+                duplicated: Counter::new(),
+                delayed: Counter::new(),
+                blocked: Counter::new(),
+            }),
+        }
+    }
+
+    pub fn profile(&self) -> FaultProfile {
+        self.inner.profile
+    }
+
+    /// Cuts the link between `a` and `b` in both directions.
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        let mut p = self.inner.partitions.lock();
+        p.insert((a, b));
+        p.insert((b, a));
+    }
+
+    /// Cuts only the `src → dst` direction (asymmetric partition).
+    pub fn partition_one_way(&self, src: NodeId, dst: NodeId) {
+        self.inner.partitions.lock().insert((src, dst));
+    }
+
+    /// Restores the link between `a` and `b` (both directions).
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        let mut p = self.inner.partitions.lock();
+        p.remove(&(a, b));
+        p.remove(&(b, a));
+    }
+
+    /// Removes every partition.
+    pub fn heal_all(&self) {
+        self.inner.partitions.lock().clear();
+    }
+
+    pub fn is_partitioned(&self, src: NodeId, dst: NodeId) -> bool {
+        self.inner.partitions.lock().contains(&(src, dst))
+    }
+
+    /// Messages silently dropped by the rate faults.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.get()
+    }
+
+    /// Messages delivered twice.
+    pub fn duplicated(&self) -> u64 {
+        self.inner.duplicated.get()
+    }
+
+    /// Messages held back by an injected delay.
+    pub fn delayed(&self) -> u64 {
+        self.inner.delayed.get()
+    }
+
+    /// Messages black-holed by a partition.
+    pub fn blocked(&self) -> u64 {
+        self.inner.blocked.get()
+    }
+}
+
+/// A delayed message waiting in the injector's timing heap.
+struct Held {
+    due: Instant,
+    seq: u64,
+    to: NodeId,
+    env: Envelope,
+}
+
+impl PartialEq for Held {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Held {}
+impl PartialOrd for Held {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Held {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (due, seq): earliest release first, FIFO on ties.
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A [`Transport`] wrapper that injects the faults described by a
+/// [`FaultPlan`] into every send. Receives pass through untouched —
+/// faults are modeled at the sender, which suffices because each
+/// message crosses exactly one injector.
+pub struct FaultInjector {
+    inner: Arc<dyn Transport>,
+    plan: FaultPlan,
+    rng: Mutex<SplitMix64>,
+    /// Lane to the delay thread (spawned only when `delay_rate > 0`).
+    delay_tx: Mutex<Option<Sender<Held>>>,
+    seq: AtomicU64,
+}
+
+impl FaultInjector {
+    pub fn new(inner: Arc<dyn Transport>, plan: FaultPlan) -> FaultInjector {
+        let profile = plan.profile();
+        let delay_tx = if profile.delay_rate > 0.0 && !profile.max_delay.is_zero() {
+            let (tx, rx) = channel::unbounded::<Held>();
+            let out = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("faults-delay-{}", inner.local().raw()))
+                .spawn(move || delay_loop(out, rx))
+                .expect("spawn fault delay thread");
+            Some(tx)
+        } else {
+            None
+        };
+        // Distinct stream per node so decisions don't depend on how the
+        // scheduler interleaves different nodes' sends.
+        let rng = SplitMix64::new(profile.seed ^ (u64::from(inner.local().raw()) << 20));
+        FaultInjector {
+            inner,
+            plan,
+            rng: Mutex::new(rng),
+            delay_tx: Mutex::new(delay_tx),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Rolls one fault decision: true with probability `rate`.
+    fn roll(&self, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        // 53 random mantissa bits → uniform in [0, 1).
+        let unit = (self.rng.lock().next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < rate
+    }
+}
+
+impl Transport for FaultInjector {
+    fn local(&self) -> NodeId {
+        self.inner.local()
+    }
+
+    fn send(&self, to: NodeId, env: Envelope) -> Result<()> {
+        let profile = self.plan.profile();
+        if self.plan.is_partitioned(self.local(), to) {
+            // Black hole: the network ate it. The caller only learns via
+            // its own timeout, exactly like a real partition.
+            self.plan.inner.blocked.inc();
+            return Ok(());
+        }
+        if self.roll(profile.drop_rate) {
+            self.plan.inner.dropped.inc();
+            return Ok(());
+        }
+        if self.roll(profile.delay_rate) {
+            if let Some(tx) = self.delay_tx.lock().as_ref() {
+                let delay_micros = profile.max_delay.as_micros().min(u128::from(u64::MAX)) as u64;
+                let held = Duration::from_micros(self.rng.lock().next_below(delay_micros.max(1)));
+                let item = Held {
+                    due: Instant::now() + held,
+                    seq: self.seq.fetch_add(1, Ordering::Relaxed),
+                    to,
+                    env,
+                };
+                if tx.send(item).is_ok() {
+                    self.plan.inner.delayed.inc();
+                    return Ok(());
+                }
+                // Delay thread gone (close raced); fall through by
+                // reconstructing is impossible — treat as dropped.
+                self.plan.inner.dropped.inc();
+                return Ok(());
+            }
+        }
+        if self.roll(profile.duplicate_rate) {
+            self.plan.inner.duplicated.inc();
+            self.inner.send(to, env.clone())?;
+        }
+        self.inner.send(to, env)
+    }
+
+    fn recv(&self, timeout: Duration) -> Result<Option<Envelope>> {
+        self.inner.recv(timeout)
+    }
+
+    fn close(&self) {
+        // Dropping the sender lets the delay thread drain and exit.
+        self.delay_tx.lock().take();
+        self.inner.close();
+    }
+}
+
+fn delay_loop(out: Arc<dyn Transport>, rx: Receiver<Held>) {
+    let mut heap: BinaryHeap<Held> = BinaryHeap::new();
+    loop {
+        let next = match heap.peek() {
+            Some(h) => {
+                let now = Instant::now();
+                if h.due <= now {
+                    let h = heap.pop().unwrap();
+                    // Peer may have died while the message was held.
+                    let _ = out.send(h.to, h.env);
+                    continue;
+                }
+                rx.recv_timeout(h.due - now)
+            }
+            None => rx.recv_timeout(Duration::from_millis(50)),
+        };
+        match next {
+            Ok(h) => heap.push(h),
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => {
+                // Transport closing: release anything still held, then
+                // exit. Sends to closed peers fail harmlessly.
+                while let Some(h) = heap.pop() {
+                    let now = Instant::now();
+                    if h.due > now {
+                        std::thread::sleep(h.due - now);
+                    }
+                    let _ = out.send(h.to, h.env);
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inmem::InMemNetwork;
+    use kera_common::config::NetworkModel;
+    use kera_wire::frames::OpCode;
+
+    fn env(id: u64) -> Envelope {
+        Envelope::request(OpCode::Ping, id, NodeId(1), bytes::Bytes::from_static(b"x"))
+    }
+
+    fn wired(profile: FaultProfile) -> (FaultPlan, FaultInjector, impl Fn() -> usize) {
+        let net = InMemNetwork::new(NetworkModel::default());
+        let sender = net.register(NodeId(1));
+        let receiver = net.register(NodeId(2));
+        let plan = FaultPlan::new(profile);
+        let injector = FaultInjector::new(Arc::new(sender), plan.clone());
+        let drain = move || {
+            let mut n = 0;
+            while let Ok(Some(_)) = receiver.recv(Duration::from_millis(20)) {
+                n += 1;
+            }
+            n
+        };
+        (plan, injector, drain)
+    }
+
+    #[test]
+    fn no_faults_passes_through() {
+        let (plan, injector, drain) = wired(FaultProfile::default());
+        for i in 0..50 {
+            injector.send(NodeId(2), env(i)).unwrap();
+        }
+        assert_eq!(drain(), 50);
+        assert_eq!(plan.dropped() + plan.duplicated() + plan.delayed() + plan.blocked(), 0);
+    }
+
+    #[test]
+    fn drop_rate_loses_messages() {
+        let profile = FaultProfile { seed: 7, drop_rate: 0.5, ..FaultProfile::default() };
+        let (plan, injector, drain) = wired(profile);
+        for i in 0..200 {
+            injector.send(NodeId(2), env(i)).unwrap();
+        }
+        let delivered = drain();
+        assert_eq!(delivered as u64 + plan.dropped(), 200);
+        // With rate 0.5 over 200 sends, both sides must be populated.
+        assert!(plan.dropped() > 50, "dropped {}", plan.dropped());
+        assert!(delivered > 50, "delivered {delivered}");
+    }
+
+    #[test]
+    fn duplicate_rate_doubles_messages() {
+        let profile = FaultProfile { seed: 7, duplicate_rate: 0.5, ..FaultProfile::default() };
+        let (plan, injector, drain) = wired(profile);
+        for i in 0..100 {
+            injector.send(NodeId(2), env(i)).unwrap();
+        }
+        let delivered = drain();
+        assert_eq!(delivered as u64, 100 + plan.duplicated());
+        assert!(plan.duplicated() > 20, "duplicated {}", plan.duplicated());
+    }
+
+    #[test]
+    fn delayed_messages_still_arrive() {
+        let profile = FaultProfile {
+            seed: 7,
+            delay_rate: 1.0,
+            max_delay: Duration::from_millis(5),
+            ..FaultProfile::default()
+        };
+        let (plan, injector, drain) = wired(profile);
+        for i in 0..20 {
+            injector.send(NodeId(2), env(i)).unwrap();
+        }
+        assert_eq!(drain(), 20);
+        assert_eq!(plan.delayed(), 20);
+    }
+
+    #[test]
+    fn partition_blackholes_then_heals() {
+        let (plan, injector, drain) = wired(FaultProfile::default());
+        plan.partition(NodeId(1), NodeId(2));
+        assert!(plan.is_partitioned(NodeId(1), NodeId(2)));
+        assert!(plan.is_partitioned(NodeId(2), NodeId(1)));
+        for i in 0..10 {
+            // A partition looks like loss, not an error.
+            injector.send(NodeId(2), env(i)).unwrap();
+        }
+        assert_eq!(drain(), 0);
+        assert_eq!(plan.blocked(), 10);
+
+        plan.heal(NodeId(1), NodeId(2));
+        for i in 0..10 {
+            injector.send(NodeId(2), env(i)).unwrap();
+        }
+        assert_eq!(drain(), 10);
+    }
+
+    #[test]
+    fn one_way_partition_is_directional() {
+        let (plan, _injector, _drain) = wired(FaultProfile::default());
+        plan.partition_one_way(NodeId(1), NodeId(2));
+        assert!(plan.is_partitioned(NodeId(1), NodeId(2)));
+        assert!(!plan.is_partitioned(NodeId(2), NodeId(1)));
+        plan.heal_all();
+        assert!(!plan.is_partitioned(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let profile = FaultProfile { seed: 99, drop_rate: 0.3, ..FaultProfile::default() };
+        let run = || {
+            let (plan, injector, drain) = wired(profile);
+            for i in 0..100 {
+                injector.send(NodeId(2), env(i)).unwrap();
+            }
+            (drain(), plan.dropped())
+        };
+        assert_eq!(run(), run());
+    }
+}

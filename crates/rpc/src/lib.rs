@@ -12,19 +12,25 @@
 //!   (crash a node, drop its traffic);
 //! - [`tcp`] — a real TCP transport (length-prefixed frames over loopback
 //!   or a LAN) with the same interface;
+//! - [`faults`] — a transport wrapper injecting drops, duplicates, delays
+//!   and partitions below the RPC layer, for chaos testing;
 //! - [`node`] — the node runtime: one dispatch thread polls the transport
 //!   and routes responses to pending calls and requests to a worker pool;
-//!   [`node::RpcClient`] issues synchronous and asynchronous calls.
+//!   [`node::RpcClient`] issues synchronous calls with bounded retries
+//!   (at-most-once via a server-side response cache) and asynchronous
+//!   single-shot calls.
 //!
 //! Every node of the simulated cluster — coordinator, brokers, backups and
 //! clients — is one [`node::NodeRuntime`].
 
+pub mod faults;
 pub mod inmem;
 pub mod network;
 pub mod node;
 pub mod tcp;
 pub mod transport;
 
+pub use faults::{FaultInjector, FaultPlan};
 pub use inmem::InMemNetwork;
 pub use network::{AnyNetwork, TransportKind};
 pub use node::{NodeRuntime, NullService, RequestContext, RpcClient, Service};

@@ -32,9 +32,20 @@ pub enum AnyNetwork {
 
 impl AnyNetwork {
     pub fn new(kind: TransportKind, model: NetworkModel) -> AnyNetwork {
+        Self::with_max_frame(kind, model, kera_common::config::DEFAULT_MAX_FRAME_BYTES)
+    }
+
+    /// Like [`AnyNetwork::new`] with an explicit frame-size cap for
+    /// stream transports (ignored by the in-memory fabric, which never
+    /// parses untrusted length prefixes).
+    pub fn with_max_frame(
+        kind: TransportKind,
+        model: NetworkModel,
+        max_frame_bytes: usize,
+    ) -> AnyNetwork {
         match kind {
             TransportKind::InMemory => AnyNetwork::InMem(InMemNetwork::new(model)),
-            TransportKind::Tcp => AnyNetwork::Tcp(TcpNetwork::new()),
+            TransportKind::Tcp => AnyNetwork::Tcp(TcpNetwork::with_max_frame(max_frame_bytes)),
         }
     }
 

@@ -7,16 +7,28 @@
 //! the dispatch thread, so a worker blocked inside a handler (e.g. a
 //! broker waiting for backup acks) can always be completed — the dispatch
 //! thread never executes handlers and therefore never blocks on workers.
+//!
+//! Synchronous calls ([`RpcClient::call`]) retry transient failures with
+//! exponential backoff under one overall deadline. Every attempt of a
+//! logical call reuses the **same request id**, and the server keeps a
+//! bounded cache of completed responses keyed by `(caller, request_id)`
+//! (RAMCloud's RIFL discipline): a retry whose original executed but
+//! whose response was lost is answered from the cache instead of being
+//! re-executed, making retried RPCs at-most-once even for non-idempotent
+//! handlers. Requests also carry their remaining time budget so servers
+//! can drop queued work whose caller has already given up.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender};
+use kera_common::config::RetryPolicy;
 use kera_common::ids::NodeId;
 use kera_common::metrics::Counter;
+use kera_common::rng::SplitMix64;
 use kera_common::{KeraError, Result};
 use kera_wire::frames::{Envelope, FrameKind, OpCode};
 use parking_lot::Mutex;
@@ -33,6 +45,18 @@ pub struct RequestContext {
     pub from: NodeId,
     pub opcode: OpCode,
     pub request_id: u64,
+    /// When the caller's budget for this request runs out (from the
+    /// envelope's deadline field); `None` if the caller sent none.
+    pub deadline: Option<Instant>,
+}
+
+impl RequestContext {
+    /// Time left before the caller gives up; `None` when no deadline was
+    /// propagated. Handlers issuing nested RPCs (broker → backup) should
+    /// cap their own waits by this.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
 }
 
 /// The application living on a node. Handlers run on worker threads and
@@ -50,16 +74,110 @@ impl Service for NullService {
     }
 }
 
+/// Verdict for an incoming request against the at-most-once state.
+enum Admit {
+    /// First sighting: execute it.
+    New,
+    /// Same request is being executed right now — drop the duplicate;
+    /// the in-flight execution's response resolves the caller's pending
+    /// slot for this id.
+    Inflight,
+    /// Already executed; resend the cached response without re-running
+    /// the handler.
+    Completed(Envelope),
+}
+
+/// At-most-once bookkeeping: which requests are executing, and a bounded
+/// FIFO of completed responses for duplicate suppression. Bounded by
+/// entry count and total cached payload bytes — eviction only matters
+/// across the millisecond-scale retry window, so small caps suffice.
+struct DedupState {
+    inflight: std::collections::HashSet<(NodeId, u64)>,
+    completed: HashMap<(NodeId, u64), Envelope>,
+    order: VecDeque<(NodeId, u64)>,
+    cached_bytes: usize,
+}
+
+struct DedupCache {
+    state: Mutex<DedupState>,
+}
+
+impl DedupCache {
+    const MAX_ENTRIES: usize = 1024;
+    const MAX_BYTES: usize = 4 << 20;
+
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(DedupState {
+                inflight: std::collections::HashSet::new(),
+                completed: HashMap::new(),
+                order: VecDeque::new(),
+                cached_bytes: 0,
+            }),
+        }
+    }
+
+    fn admit(&self, key: (NodeId, u64)) -> Admit {
+        let mut s = self.state.lock();
+        if let Some(reply) = s.completed.get(&key) {
+            return Admit::Completed(reply.clone());
+        }
+        if !s.inflight.insert(key) {
+            return Admit::Inflight;
+        }
+        Admit::New
+    }
+
+    /// Records a finished request's response and evicts oldest entries
+    /// past the caps.
+    fn complete(&self, key: (NodeId, u64), reply: Envelope) {
+        let mut s = self.state.lock();
+        s.inflight.remove(&key);
+        s.cached_bytes += reply.payload.len();
+        if s.completed.insert(key, reply).is_none() {
+            s.order.push_back(key);
+        }
+        while s.order.len() > Self::MAX_ENTRIES || s.cached_bytes > Self::MAX_BYTES {
+            let Some(oldest) = s.order.pop_front() else { break };
+            if let Some(evicted) = s.completed.remove(&oldest) {
+                s.cached_bytes -= evicted.payload.len();
+            }
+        }
+    }
+
+    /// Clears the in-flight mark without caching anything (the request
+    /// was dropped unexecuted, e.g. expired in queue) so a later retry
+    /// is admitted as new.
+    fn abandon(&self, key: (NodeId, u64)) {
+        self.state.lock().inflight.remove(&key);
+    }
+}
+
+/// A request queued for the worker pool, with its absolute expiry (from
+/// the envelope's propagated deadline) resolved at receipt time.
+struct WorkItem {
+    env: Envelope,
+    expires: Option<Instant>,
+}
+
 struct NodeInner {
     id: NodeId,
     transport: Arc<dyn Transport>,
     pending: Mutex<HashMap<u64, Sender<Envelope>>>,
     next_id: AtomicU64,
     shutdown: AtomicBool,
+    retry: RetryPolicy,
+    dedup: DedupCache,
     /// RPCs served (requests handled) — observability for tests/benches.
     pub requests_served: Counter,
     /// RPCs issued from this node.
     pub calls_issued: Counter,
+    /// Retransmissions performed by this node's synchronous calls.
+    pub retries_sent: Counter,
+    /// Duplicate requests suppressed by the at-most-once cache.
+    pub requests_deduped: Counter,
+    /// Requests dropped unexecuted because their deadline passed in queue.
+    pub requests_expired: Counter,
 }
 
 /// A running node: dispatch thread + workers. Dropping the runtime shuts
@@ -71,24 +189,41 @@ pub struct NodeRuntime {
 
 impl NodeRuntime {
     /// Starts a node on `transport` serving `service` with `workers`
-    /// handler threads.
+    /// handler threads and the default [`RetryPolicy`].
     pub fn start(
         transport: Arc<dyn Transport>,
         service: Arc<dyn Service>,
         workers: usize,
     ) -> NodeRuntime {
+        Self::start_with_policy(transport, service, workers, RetryPolicy::default())
+    }
+
+    /// Starts a node with an explicit retry/backoff policy for its
+    /// synchronous calls.
+    pub fn start_with_policy(
+        transport: Arc<dyn Transport>,
+        service: Arc<dyn Service>,
+        workers: usize,
+        retry: RetryPolicy,
+    ) -> NodeRuntime {
         assert!(workers >= 1, "a node needs at least one worker");
+        retry.validate().expect("invalid retry policy");
         let inner = Arc::new(NodeInner {
             id: transport.local(),
             transport,
             pending: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            retry,
+            dedup: DedupCache::new(),
             requests_served: Counter::new(),
             calls_issued: Counter::new(),
+            retries_sent: Counter::new(),
+            requests_deduped: Counter::new(),
+            requests_expired: Counter::new(),
         });
 
-        let (work_tx, work_rx) = channel::unbounded::<Envelope>();
+        let (work_tx, work_rx) = channel::unbounded::<WorkItem>();
         let mut threads = Vec::with_capacity(workers + 1);
 
         {
@@ -103,7 +238,7 @@ impl NodeRuntime {
         for w in 0..workers {
             let inner = Arc::clone(&inner);
             let service = Arc::clone(&service);
-            let work_rx: Receiver<Envelope> = work_rx.clone();
+            let work_rx: Receiver<WorkItem> = work_rx.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("worker-{}-{}", inner.id.raw(), w))
@@ -126,6 +261,18 @@ impl NodeRuntime {
     /// Requests handled so far.
     pub fn requests_served(&self) -> u64 {
         self.inner.requests_served.get()
+    }
+
+    /// Duplicate requests answered from the at-most-once cache or
+    /// suppressed while their original was still executing.
+    pub fn requests_deduped(&self) -> u64 {
+        self.inner.requests_deduped.get()
+    }
+
+    /// Requests dropped unexecuted because their propagated deadline
+    /// expired while queued.
+    pub fn requests_expired(&self) -> u64 {
+        self.inner.requests_expired.get()
     }
 
     /// Initiates shutdown and joins all threads.
@@ -161,7 +308,7 @@ impl NodeInner {
     }
 }
 
-fn dispatch_loop(inner: Arc<NodeInner>, work_tx: Sender<Envelope>) {
+fn dispatch_loop(inner: Arc<NodeInner>, work_tx: Sender<WorkItem>) {
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             break;
@@ -169,8 +316,26 @@ fn dispatch_loop(inner: Arc<NodeInner>, work_tx: Sender<Envelope>) {
         match inner.transport.recv(POLL_INTERVAL) {
             Ok(Some(env)) => match env.kind {
                 FrameKind::Request => {
-                    if work_tx.send(env).is_err() {
-                        break; // workers gone
+                    match inner.dedup.admit((env.from, env.request_id)) {
+                        Admit::Completed(reply) => {
+                            // Retry of an already-executed request whose
+                            // response was lost: replay the cached reply.
+                            inner.requests_deduped.inc();
+                            let _ = inner.transport.send(env.from, reply);
+                        }
+                        Admit::Inflight => {
+                            // The original execution will answer; its
+                            // response resolves this id's pending slot.
+                            inner.requests_deduped.inc();
+                        }
+                        Admit::New => {
+                            let expires = (env.deadline_micros > 0).then(|| {
+                                Instant::now() + Duration::from_micros(env.deadline_micros)
+                            });
+                            if work_tx.send(WorkItem { env, expires }).is_err() {
+                                break; // workers gone
+                            }
+                        }
                     }
                 }
                 FrameKind::Response => {
@@ -191,9 +356,26 @@ fn dispatch_loop(inner: Arc<NodeInner>, work_tx: Sender<Envelope>) {
     inner.fail_all_pending();
 }
 
-fn worker_loop(inner: Arc<NodeInner>, service: Arc<dyn Service>, work_rx: Receiver<Envelope>) {
-    while let Ok(env) = work_rx.recv() {
-        let ctx = RequestContext { from: env.from, opcode: env.opcode, request_id: env.request_id };
+fn worker_loop(inner: Arc<NodeInner>, service: Arc<dyn Service>, work_rx: Receiver<WorkItem>) {
+    while let Ok(item) = work_rx.recv() {
+        let env = item.env;
+        let key = (env.from, env.request_id);
+        if let Some(expires) = item.expires {
+            if Instant::now() >= expires {
+                // The caller's budget ran out while this sat in queue —
+                // skip the work; clearing the in-flight mark (without a
+                // cached response) lets a later retry execute fresh.
+                inner.dedup.abandon(key);
+                inner.requests_expired.inc();
+                continue;
+            }
+        }
+        let ctx = RequestContext {
+            from: env.from,
+            opcode: env.opcode,
+            request_id: env.request_id,
+            deadline: item.expires,
+        };
         let reply = match service.handle(&ctx, env.payload) {
             Ok(payload) => Envelope::response(
                 ctx.opcode,
@@ -204,6 +386,7 @@ fn worker_loop(inner: Arc<NodeInner>, service: Arc<dyn Service>, work_rx: Receiv
             ),
             Err(e) => Envelope::error_response(ctx.opcode, ctx.request_id, inner.id, &e),
         };
+        inner.dedup.complete(key, reply.clone());
         inner.requests_served.inc();
         // The requester may be gone; that's its problem.
         let _ = inner.transport.send(ctx.from, reply);
@@ -222,21 +405,63 @@ impl RpcClient {
     }
 
     /// Issues a request without waiting; the returned [`PendingCall`]
-    /// resolves on response, timeout or disconnection.
+    /// resolves on response, timeout or disconnection. While the caller
+    /// waits, the call retransmits the *same* request id every
+    /// `attempt_timeout` (up to `max_attempts` sends), so a dropped
+    /// request or reply heals without re-executing the handler — the
+    /// server's at-most-once cache suppresses duplicate executions and
+    /// replays the cached response.
     pub fn call_async(&self, to: NodeId, opcode: OpCode, payload: Bytes) -> PendingCall {
+        self.issue(to, opcode, payload, true)
+    }
+
+    fn issue(&self, to: NodeId, opcode: OpCode, payload: Bytes, retransmit: bool) -> PendingCall {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel::bounded(1);
         self.inner.pending.lock().insert(id, tx);
         self.inner.calls_issued.inc();
+        // Async calls have no overall budget yet (the caller picks one at
+        // wait time), so the envelope carries no deadline: the server
+        // must not drop work a pipelined caller is still waiting on.
         let env = Envelope::request(opcode, id, self.inner.id, payload);
-        if let Err(e) = self.inner.transport.send(to, env) {
+        if let Err(e) = self.inner.transport.send(to, env.clone()) {
             self.inner.pending.lock().remove(&id);
-            return PendingCall { id, rx, failed: Some(e), inner: Arc::clone(&self.inner) };
+            return PendingCall {
+                id,
+                rx,
+                failed: Some(e),
+                inner: Arc::clone(&self.inner),
+                to,
+                env,
+                attempts: 1,
+                retransmit: false,
+                next_retransmit: Instant::now(),
+            };
         }
-        PendingCall { id, rx, failed: None, inner: Arc::clone(&self.inner) }
+        let next_retransmit = Instant::now() + self.inner.retry.attempt_timeout;
+        PendingCall {
+            id,
+            rx,
+            failed: None,
+            inner: Arc::clone(&self.inner),
+            to,
+            env,
+            attempts: 1,
+            retransmit,
+            next_retransmit,
+        }
     }
 
-    /// Synchronous call: send, wait, check status, return the payload.
+    /// Synchronous call with retries: *delivery* failures (send errors,
+    /// response timeouts) are retried with exponential backoff and
+    /// jitter until the overall `timeout` budget runs out. Every attempt
+    /// reuses the same request id, so the server's at-most-once cache
+    /// guarantees the handler runs at most once even across retries.
+    ///
+    /// An error **status** in a response is returned immediately, even
+    /// for transient error kinds: it proves the handler executed, and a
+    /// same-id retry would only replay the cached outcome. Whether to
+    /// re-execute is the application's decision, not the RPC layer's.
     pub fn call(
         &self,
         to: NodeId,
@@ -244,16 +469,113 @@ impl RpcClient {
         payload: Bytes,
         timeout: Duration,
     ) -> Result<Bytes> {
-        self.call_async(to, opcode, payload).wait(timeout)
+        let policy = self.inner.retry;
+        let deadline = Instant::now() + timeout;
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        // Deterministic jitter: seeded by (node, call), independent of
+        // thread interleavings.
+        let mut rng = SplitMix64::new(u64::from(self.inner.id.raw()) << 32 ^ id);
+        let mut last_err: Option<KeraError> = None;
+
+        for attempt in 0..policy.max_attempts {
+            if attempt > 0 {
+                // Back off between attempts, jittered to [50%, 100%] of
+                // the exponential step; never sleep past the deadline.
+                let base = policy.backoff_for(attempt);
+                let jittered = base.mul_f64(0.5 + 0.5 * (rng.next_u32() as f64 / u32::MAX as f64));
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if jittered >= remaining {
+                    break;
+                }
+                std::thread::sleep(jittered);
+                self.inner.retries_sent.inc();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let remaining = deadline - now;
+            let attempt_timeout = remaining.min(policy.attempt_timeout);
+
+            let (tx, rx) = channel::bounded(1);
+            self.inner.pending.lock().insert(id, tx);
+            self.inner.calls_issued.inc();
+            // Propagate the *overall* remaining budget, not the attempt
+            // timeout: a per-attempt timeout only triggers a retransmit
+            // of the same id — the caller hasn't abandoned the call, and
+            // the server must not drop the original execution early.
+            let env = Envelope::request(opcode, id, self.inner.id, payload.clone())
+                .with_deadline(remaining);
+            if let Err(e) = self.inner.transport.send(to, env) {
+                self.inner.pending.lock().remove(&id);
+                if e.is_retriable() {
+                    last_err = Some(e);
+                    continue;
+                }
+                return Err(e);
+            }
+            match rx.recv_timeout(attempt_timeout) {
+                Ok(env) => match env.check_status() {
+                    Ok(()) => return Ok(env.payload),
+                    // A response proves execution: return its outcome.
+                    Err(e) => return Err(e),
+                },
+                Err(channel::RecvTimeoutError::Timeout) => {
+                    self.inner.pending.lock().remove(&id);
+                    last_err = Some(KeraError::Timeout { op: "rpc" });
+                    continue;
+                }
+                Err(channel::RecvTimeoutError::Disconnected) => {
+                    // Our own node is shutting down; no point retrying.
+                    return Err(KeraError::Disconnected(self.inner.id));
+                }
+            }
+        }
+        Err(last_err.unwrap_or(KeraError::Timeout { op: "rpc" }))
+    }
+
+    /// Single-shot synchronous call (the pre-retry behaviour): one
+    /// send, no retransmission, no backoff. For callers that orchestrate
+    /// their own failure handling.
+    pub fn call_once(
+        &self,
+        to: NodeId,
+        opcode: OpCode,
+        payload: Bytes,
+        timeout: Duration,
+    ) -> Result<Bytes> {
+        self.issue(to, opcode, payload, false).wait(timeout)
+    }
+
+    /// The retry policy this client applies in [`RpcClient::call`].
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.inner.retry
+    }
+
+    /// Retries and retransmissions sent so far (synchronous retries and
+    /// async same-id retransmits combined).
+    pub fn retries_sent(&self) -> u64 {
+        self.inner.retries_sent.get()
     }
 }
 
-/// An in-flight RPC.
+/// An in-flight RPC. While waited on, it retransmits the same request
+/// id on a fixed `attempt_timeout` timer (bounded by the retry policy's
+/// `max_attempts`), so transient loss heals transparently; the server's
+/// at-most-once cache keeps retransmits from re-executing the handler.
 pub struct PendingCall {
     id: u64,
     rx: Receiver<Envelope>,
     failed: Option<KeraError>,
     inner: Arc<NodeInner>,
+    to: NodeId,
+    /// The original request envelope, resent verbatim on retransmit.
+    env: Envelope,
+    /// Sends so far (first transmission included).
+    attempts: u32,
+    /// Whether this call retransmits at all (`call_once` does not).
+    retransmit: bool,
+    next_retransmit: Instant,
 }
 
 impl PendingCall {
@@ -267,19 +589,49 @@ impl PendingCall {
     /// Waits up to `timeout` without consuming the call: returns
     /// `Some(result)` once resolved, `None` on timeout (the call stays
     /// pending and may be polled again). Used by pipelined callers that
-    /// block on the oldest in-flight request.
+    /// block on the oldest in-flight request. Retransmits the request
+    /// whenever its retransmission timer fires during the wait.
     pub fn poll_wait(&mut self, timeout: Duration) -> Option<Result<Bytes>> {
         if let Some(e) = self.failed.take() {
             return Some(Err(e));
         }
-        match self.rx.recv_timeout(timeout) {
-            Ok(env) => Some(match env.check_status() {
-                Ok(()) => Ok(env.payload),
-                Err(e) => Err(e),
-            }),
-            Err(channel::RecvTimeoutError::Timeout) => None,
-            Err(channel::RecvTimeoutError::Disconnected) => {
-                Some(Err(KeraError::Disconnected(self.inner.id)))
+        let poll_deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            let until_deadline = poll_deadline.saturating_duration_since(now);
+            let can_retransmit =
+                self.retransmit && self.attempts < self.inner.retry.max_attempts;
+            let wait = if can_retransmit {
+                self.next_retransmit
+                    .saturating_duration_since(now)
+                    .min(until_deadline)
+            } else {
+                until_deadline
+            };
+            match self.rx.recv_timeout(wait) {
+                Ok(env) => {
+                    return Some(match env.check_status() {
+                        Ok(()) => Ok(env.payload),
+                        Err(e) => Err(e),
+                    });
+                }
+                Err(channel::RecvTimeoutError::Timeout) => {
+                    let now = Instant::now();
+                    if can_retransmit && now >= self.next_retransmit {
+                        self.attempts += 1;
+                        self.inner.retries_sent.inc();
+                        // A failed retransmit is just more loss; the next
+                        // timer tick (or the caller's timeout) handles it.
+                        let _ = self.inner.transport.send(self.to, self.env.clone());
+                        self.next_retransmit = now + self.inner.retry.attempt_timeout;
+                    }
+                    if now >= poll_deadline {
+                        return None;
+                    }
+                }
+                Err(channel::RecvTimeoutError::Disconnected) => {
+                    return Some(Err(KeraError::Disconnected(self.inner.id)));
+                }
             }
         }
     }
@@ -503,5 +855,205 @@ mod tests {
             c.call(NodeId(1), OpCode::Ping, Bytes::new(), Duration::from_secs(1)).unwrap();
         }
         assert_eq!(server.requests_served(), 5);
+    }
+
+    #[test]
+    fn retries_recover_from_lossy_transport() {
+        use crate::faults::{FaultInjector, FaultPlan};
+        use kera_common::config::FaultProfile;
+
+        let net = InMemNetwork::new(NetworkModel::default());
+        let _server =
+            NodeRuntime::start(Arc::new(net.register(NodeId(1))), Arc::new(EchoService), 2);
+        // 30% of everything the client sends vanishes; requests and the
+        // server's responses share the link back, so response loss is
+        // exercised via the injector on the server side too.
+        let plan = FaultPlan::new(FaultProfile {
+            seed: 11,
+            drop_rate: 0.3,
+            ..FaultProfile::default()
+        });
+        let lossy = Arc::new(FaultInjector::new(Arc::new(net.register(NodeId(2))), plan.clone()));
+        let client = NodeRuntime::start_with_policy(
+            lossy,
+            Arc::new(NullService),
+            1,
+            RetryPolicy {
+                max_attempts: 10,
+                attempt_timeout: Duration::from_millis(100),
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(10),
+            },
+        );
+        let c = client.client();
+        for i in 0..40u64 {
+            let body = Bytes::from(i.to_le_bytes().to_vec());
+            let got = c
+                .call(NodeId(1), OpCode::Ping, body.clone(), Duration::from_secs(5))
+                .expect("retries should mask drops");
+            assert_eq!(got, body);
+        }
+        assert!(plan.dropped() > 0, "faults never fired");
+    }
+
+    #[test]
+    fn async_calls_retransmit_without_reexecuting() {
+        use crate::faults::{FaultInjector, FaultPlan};
+        use kera_common::config::FaultProfile;
+        use std::sync::atomic::AtomicU64;
+
+        struct CountingService {
+            hits: Arc<AtomicU64>,
+        }
+        impl Service for CountingService {
+            fn handle(&self, _ctx: &RequestContext, payload: Bytes) -> Result<Bytes> {
+                self.hits.fetch_add(1, Ordering::SeqCst);
+                Ok(payload)
+            }
+        }
+
+        let net = InMemNetwork::new(NetworkModel::default());
+        let hits = Arc::new(AtomicU64::new(0));
+        let server = NodeRuntime::start(
+            Arc::new(net.register(NodeId(1))),
+            Arc::new(CountingService { hits: Arc::clone(&hits) }),
+            2,
+        );
+        let plan = FaultPlan::new(FaultProfile {
+            seed: 23,
+            drop_rate: 0.4,
+            ..FaultProfile::default()
+        });
+        let lossy = Arc::new(FaultInjector::new(Arc::new(net.register(NodeId(2))), plan.clone()));
+        let client = NodeRuntime::start_with_policy(
+            lossy,
+            Arc::new(NullService),
+            1,
+            RetryPolicy {
+                max_attempts: 20,
+                attempt_timeout: Duration::from_millis(50),
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(10),
+            },
+        );
+        let c = client.client();
+        const CALLS: u64 = 30;
+        for i in 0..CALLS {
+            let body = Bytes::from(i.to_le_bytes().to_vec());
+            let got = c
+                .call_async(NodeId(1), OpCode::Ping, body.clone())
+                .wait(Duration::from_secs(5))
+                .expect("retransmits should mask drops");
+            assert_eq!(got, body);
+        }
+        assert!(plan.dropped() > 0, "faults never fired");
+        assert!(c.retries_sent() > 0, "drops should have forced retransmits");
+        // Retransmitted ids never re-execute: at most one hit per call.
+        assert_eq!(hits.load(Ordering::SeqCst), CALLS, "handler re-executed a retransmit");
+        assert!(server.requests_deduped() > 0 || server.requests_served() == CALLS);
+    }
+
+    #[test]
+    fn duplicate_request_executes_at_most_once() {
+        use std::sync::atomic::AtomicU64;
+
+        struct CountingService {
+            hits: Arc<AtomicU64>,
+        }
+        impl Service for CountingService {
+            fn handle(&self, _ctx: &RequestContext, payload: Bytes) -> Result<Bytes> {
+                self.hits.fetch_add(1, Ordering::SeqCst);
+                Ok(payload)
+            }
+        }
+
+        let net = InMemNetwork::new(NetworkModel::default());
+        let hits = Arc::new(AtomicU64::new(0));
+        let server = NodeRuntime::start(
+            Arc::new(net.register(NodeId(1))),
+            Arc::new(CountingService { hits: Arc::clone(&hits) }),
+            2,
+        );
+        // Raw transport standing in for a client whose retry re-sends the
+        // same request id after the response was lost.
+        let raw = net.register(NodeId(9));
+        let req = Envelope::request(OpCode::Ping, 77, NodeId(9), Bytes::from_static(b"once"));
+        raw.send(NodeId(1), req.clone()).unwrap();
+        let first = raw.recv(Duration::from_secs(1)).unwrap().expect("first response");
+        assert_eq!(&first.payload[..], b"once");
+
+        raw.send(NodeId(1), req).unwrap();
+        let second = raw.recv(Duration::from_secs(1)).unwrap().expect("cached response");
+        assert_eq!(&second.payload[..], b"once");
+        assert_eq!(second.request_id, 77);
+
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "handler must run exactly once");
+        assert_eq!(server.requests_deduped(), 1);
+    }
+
+    #[test]
+    fn expired_queued_request_is_dropped_then_retriable() {
+        let net = InMemNetwork::new(NetworkModel::default());
+        // Single worker so a slow request blocks the queue.
+        let server =
+            NodeRuntime::start(Arc::new(net.register(NodeId(1))), Arc::new(EchoService), 1);
+        let raw = net.register(NodeId(9));
+
+        // Occupy the worker for ~200ms.
+        raw.send(NodeId(1), Envelope::request(OpCode::Fetch, 1, NodeId(9), Bytes::new()))
+            .unwrap();
+        // Queue a request whose budget expires long before the worker
+        // frees up.
+        let doomed = Envelope::request(OpCode::Ping, 2, NodeId(9), Bytes::from_static(b"late"))
+            .with_deadline(Duration::from_millis(5));
+        raw.send(NodeId(1), doomed).unwrap();
+
+        let fetch_resp = raw.recv(Duration::from_secs(1)).unwrap().expect("fetch response");
+        assert_eq!(fetch_resp.request_id, 1);
+        // The expired request must produce no response...
+        assert!(raw.recv(Duration::from_millis(100)).unwrap().is_none());
+        assert_eq!(server.requests_expired(), 1);
+
+        // ...but a retry of the same id (fresh budget) executes normally:
+        // expiry abandoned the in-flight mark instead of caching anything.
+        let retry = Envelope::request(OpCode::Ping, 2, NodeId(9), Bytes::from_static(b"late"))
+            .with_deadline(Duration::from_secs(1));
+        raw.send(NodeId(1), retry).unwrap();
+        let resp = raw.recv(Duration::from_secs(1)).unwrap().expect("retry response");
+        assert_eq!(resp.request_id, 2);
+        assert_eq!(&resp.payload[..], b"late");
+    }
+
+    #[test]
+    fn handlers_see_propagated_deadline() {
+        struct DeadlineCheck;
+        impl Service for DeadlineCheck {
+            fn handle(&self, ctx: &RequestContext, _payload: Bytes) -> Result<Bytes> {
+                let remaining = ctx.remaining().expect("call() must stamp a deadline");
+                assert!(remaining <= Duration::from_secs(3));
+                Ok(Bytes::new())
+            }
+        }
+        let net = InMemNetwork::new(NetworkModel::default());
+        let _server =
+            NodeRuntime::start(Arc::new(net.register(NodeId(1))), Arc::new(DeadlineCheck), 1);
+        let client =
+            NodeRuntime::start(Arc::new(net.register(NodeId(2))), Arc::new(NullService), 1);
+        client
+            .client()
+            .call(NodeId(1), OpCode::Ping, Bytes::new(), Duration::from_secs(3))
+            .unwrap();
+    }
+
+    #[test]
+    fn call_once_does_not_retry() {
+        let (_net, _server, client) = pair();
+        let c = client.client();
+        let before = c.inner.calls_issued.get();
+        let err = c
+            .call_once(NodeId(42), OpCode::Ping, Bytes::new(), Duration::from_secs(1))
+            .unwrap_err();
+        assert!(matches!(err, KeraError::Disconnected(NodeId(42))));
+        assert_eq!(c.inner.calls_issued.get(), before + 1);
     }
 }

@@ -10,15 +10,22 @@
 //! addresses. Each registered node binds an ephemeral listener; outbound
 //! connections are created lazily, one per (source, destination) pair, and
 //! writes are serialized per destination.
+//!
+//! The length prefix is untrusted input: frames larger than the network's
+//! `max_frame_bytes` cause the receiver to drop the connection *before*
+//! allocating a buffer, so a corrupt or hostile prefix cannot trigger a
+//! multi-gigabyte allocation.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{self, Receiver, Sender};
+use kera_common::config::DEFAULT_MAX_FRAME_BYTES;
 use kera_common::ids::NodeId;
 use kera_common::{KeraError, Result};
 use kera_wire::frames::Envelope;
@@ -32,14 +39,28 @@ struct Directory {
 }
 
 /// A directory of TCP nodes.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct TcpNetwork {
     dir: Arc<Directory>,
+    max_frame_bytes: usize,
+}
+
+impl Default for TcpNetwork {
+    fn default() -> Self {
+        Self { dir: Arc::default(), max_frame_bytes: DEFAULT_MAX_FRAME_BYTES }
+    }
 }
 
 impl TcpNetwork {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A network whose receivers reject frames larger than
+    /// `max_frame_bytes` (length prefix included payload) by dropping
+    /// the connection.
+    pub fn with_max_frame(max_frame_bytes: usize) -> Self {
+        Self { dir: Arc::default(), max_frame_bytes }
     }
 
     /// Binds a listener for `id` and returns its transport.
@@ -55,13 +76,16 @@ impl TcpNetwork {
         }
         let (inbox_tx, inbox_rx) = channel::unbounded();
         let closed = Arc::new(AtomicBool::new(false));
+        let accepted: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
 
         {
             let inbox_tx = inbox_tx.clone();
             let closed = Arc::clone(&closed);
+            let accepted = Arc::clone(&accepted);
+            let max_frame = self.max_frame_bytes;
             std::thread::Builder::new()
                 .name(format!("tcp-accept-{}", id.raw()))
-                .spawn(move || accept_loop(listener, inbox_tx, closed))
+                .spawn(move || accept_loop(listener, inbox_tx, closed, accepted, max_frame))
                 .expect("spawn tcp accept");
         }
 
@@ -72,6 +96,8 @@ impl TcpNetwork {
             conns: Mutex::new(HashMap::new()),
             addr,
             closed,
+            accepted,
+            max_frame_bytes: self.max_frame_bytes,
         })
     }
 
@@ -81,26 +107,50 @@ impl TcpNetwork {
     }
 }
 
-fn accept_loop(listener: TcpListener, inbox: Sender<Envelope>, closed: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    inbox: Sender<Envelope>,
+    closed: Arc<AtomicBool>,
+    accepted: Arc<Mutex<Vec<TcpStream>>>,
+    max_frame: usize,
+) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 if closed.load(Ordering::SeqCst) {
                     return;
                 }
+                // Keep a handle so close() can shut the stream down and
+                // unblock the reader's read_exact.
+                if let Ok(handle) = stream.try_clone() {
+                    accepted.lock().push(handle);
+                }
                 let inbox = inbox.clone();
                 let closed = Arc::clone(&closed);
                 std::thread::Builder::new()
                     .name("tcp-reader".into())
-                    .spawn(move || reader_loop(stream, inbox, closed))
+                    .spawn(move || reader_loop(stream, inbox, closed, max_frame))
                     .expect("spawn tcp reader");
             }
-            Err(_) => return,
+            Err(_) => {
+                // Transient accept failures (EMFILE, ECONNABORTED, ...)
+                // must not kill the listener; only an explicit close ends
+                // the loop.
+                if closed.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
         }
     }
 }
 
-fn reader_loop(mut stream: TcpStream, inbox: Sender<Envelope>, closed: Arc<AtomicBool>) {
+fn reader_loop(
+    mut stream: TcpStream,
+    inbox: Sender<Envelope>,
+    closed: Arc<AtomicBool>,
+    max_frame: usize,
+) {
     let mut len_buf = [0u8; 4];
     let mut body = Vec::new();
     loop {
@@ -108,9 +158,14 @@ fn reader_loop(mut stream: TcpStream, inbox: Sender<Envelope>, closed: Arc<Atomi
             return;
         }
         if stream.read_exact(&mut len_buf).is_err() {
-            return; // peer closed
+            return; // peer closed (or close() shut us down)
         }
         let len = u32::from_le_bytes(len_buf) as usize;
+        if len > max_frame {
+            // Untrusted prefix: drop the connection without allocating.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
         body.resize(len, 0);
         if stream.read_exact(&mut body).is_err() {
             return;
@@ -136,6 +191,10 @@ pub struct TcpTransport {
     conns: Mutex<HashMap<NodeId, Arc<Mutex<TcpStream>>>>,
     addr: SocketAddr,
     closed: Arc<AtomicBool>,
+    /// Clones of accepted (inbound) streams, kept so close() can shut
+    /// them down and unblock their reader threads.
+    accepted: Arc<Mutex<Vec<TcpStream>>>,
+    max_frame_bytes: usize,
 }
 
 impl TcpTransport {
@@ -150,11 +209,21 @@ impl TcpTransport {
             .get(&to)
             .copied()
             .ok_or(KeraError::Disconnected(to))?;
+        // Dial outside the lock (connect can block), then insert with a
+        // second check: a concurrent dial to the same peer may have won,
+        // and replacing its entry would leak a connection that concurrent
+        // senders still hold — and writes to the two sockets would
+        // interleave frames.
         let stream = TcpStream::connect(addr).map_err(|_| KeraError::Disconnected(to))?;
         stream.set_nodelay(true).ok();
-        let conn = Arc::new(Mutex::new(stream));
-        self.conns.lock().insert(to, Arc::clone(&conn));
-        Ok(conn)
+        match self.conns.lock().entry(to) {
+            Entry::Occupied(e) => Ok(Arc::clone(e.get())), // lost the race; ours drops
+            Entry::Vacant(v) => {
+                let conn = Arc::new(Mutex::new(stream));
+                v.insert(Arc::clone(&conn));
+                Ok(conn)
+            }
+        }
     }
 }
 
@@ -164,8 +233,16 @@ impl Transport for TcpTransport {
     }
 
     fn send(&self, to: NodeId, env: Envelope) -> Result<()> {
-        let conn = self.connection(to)?;
         let frame = env.encode();
+        if frame.len() > self.max_frame_bytes {
+            // The receiver would drop the connection; fail loudly instead.
+            return Err(KeraError::Protocol(format!(
+                "frame of {} bytes exceeds max_frame_bytes {}",
+                frame.len(),
+                self.max_frame_bytes
+            )));
+        }
+        let conn = self.connection(to)?;
         let mut guard = conn.lock();
         let res = guard
             .write_all(&(frame.len() as u32).to_le_bytes())
@@ -195,7 +272,14 @@ impl Transport for TcpTransport {
         self.dir.addrs.write().remove(&self.id);
         // Wake the accept loop so it observes the flag and exits.
         let _ = TcpStream::connect(self.addr);
-        self.conns.lock().clear();
+        // Unblock reader threads stuck in read_exact on inbound streams.
+        for stream in self.accepted.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // Shut outbound connections so the peers' readers see EOF too.
+        for (_, conn) in self.conns.lock().drain() {
+            let _ = conn.lock().shutdown(Shutdown::Both);
+        }
     }
 }
 
@@ -282,5 +366,121 @@ mod tests {
             let got = b.recv(Duration::from_secs(2)).unwrap().unwrap();
             assert_eq!(got.request_id, i);
         }
+    }
+
+    #[test]
+    fn oversized_length_prefix_drops_connection_without_allocating() {
+        let net = TcpNetwork::with_max_frame(4096);
+        let b = net.register(NodeId(2)).unwrap();
+        let addr = net.addr_of(NodeId(2)).unwrap();
+
+        // Hand-rolled hostile peer: a ~4 GiB length prefix. A receiver
+        // that trusted it would try to allocate the full amount.
+        let mut evil = TcpStream::connect(addr).unwrap();
+        evil.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        evil.write_all(b"junk").unwrap();
+
+        // The reader must drop the connection: our side sees EOF.
+        evil.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut probe = [0u8; 1];
+        match evil.read(&mut probe) {
+            Ok(0) => {}                       // clean EOF: connection dropped
+            Ok(n) => panic!("unexpected {n} bytes from receiver"),
+            Err(e) => panic!("expected EOF, got {e}"),
+        }
+        // Nothing was delivered, and the transport still works for
+        // well-formed peers afterwards.
+        assert!(b.recv(Duration::from_millis(50)).unwrap().is_none());
+        let a = net.register(NodeId(1)).unwrap();
+        a.send(NodeId(2), Envelope::request(OpCode::Ping, 1, NodeId(1), Bytes::from_static(b"ok")))
+            .unwrap();
+        assert_eq!(&b.recv(Duration::from_secs(2)).unwrap().unwrap().payload[..], b"ok");
+    }
+
+    #[test]
+    fn oversized_send_is_rejected_locally() {
+        let net = TcpNetwork::with_max_frame(1024);
+        let a = net.register(NodeId(1)).unwrap();
+        let _b = net.register(NodeId(2)).unwrap();
+        let big = Bytes::from(vec![0u8; 2048]);
+        let err = a
+            .send(NodeId(2), Envelope::request(OpCode::Produce, 1, NodeId(1), big))
+            .unwrap_err();
+        assert!(matches!(err, KeraError::Protocol(_)));
+    }
+
+    #[test]
+    fn concurrent_first_sends_share_one_connection() {
+        let net = TcpNetwork::new();
+        let a = Arc::new(net.register(NodeId(1)).unwrap());
+        let b = net.register(NodeId(2)).unwrap();
+        // Race many threads through the first dial to the same peer; the
+        // double-checked insert must leave exactly one connection and no
+        // interleaved frames.
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        let body = Bytes::from(vec![0u8; 256]);
+                        a.send(
+                            NodeId(2),
+                            Envelope::request(OpCode::Ping, t * 1000 + i, NodeId(1), body),
+                        )
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..400 {
+            let env = b.recv(Duration::from_secs(2)).unwrap().expect("frame lost");
+            assert!(seen.insert(env.request_id), "duplicate {}", env.request_id);
+            assert_eq!(env.payload.len(), 256);
+        }
+        assert_eq!(a.conns.lock().len(), 1, "exactly one connection per peer");
+    }
+
+    #[test]
+    fn close_unblocks_inbound_readers() {
+        let net = TcpNetwork::new();
+        let a = net.register(NodeId(1)).unwrap();
+        let b = net.register(NodeId(2)).unwrap();
+        // Establish an inbound connection to b whose reader then blocks
+        // in read_exact waiting for the next frame.
+        a.send(NodeId(2), Envelope::request(OpCode::Ping, 1, NodeId(1), Bytes::new())).unwrap();
+        assert!(b.recv(Duration::from_secs(2)).unwrap().is_some());
+
+        let reader_count_before = thread_count_named("tcp-reader");
+        assert!(reader_count_before >= 1);
+        b.close();
+        // The reader must observe the shutdown and exit promptly rather
+        // than staying parked in read_exact forever.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while thread_count_named("tcp-reader") >= reader_count_before {
+            if std::time::Instant::now() > deadline {
+                panic!("reader threads still blocked after close()");
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Counts live threads whose name starts with `prefix` (Linux proc).
+    fn thread_count_named(prefix: &str) -> usize {
+        let mut n = 0;
+        if let Ok(entries) = std::fs::read_dir("/proc/self/task") {
+            for entry in entries.flatten() {
+                let comm = entry.path().join("comm");
+                if let Ok(name) = std::fs::read_to_string(comm) {
+                    if name.trim_end().starts_with(prefix) {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
     }
 }

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workspace vendors minimal, API-compatible implementations of the
+//! handful of external crates it depends on. This one covers the subset
+//! of `bytes` the workspace uses: cheaply clonable immutable [`Bytes`],
+//! a growable [`BytesMut`] builder, and the [`BufMut`] write methods.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable, immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Bytes {
+        Bytes { data: Arc::from(&[][..]) }
+    }
+
+    /// A buffer over a static slice (copied once; the real crate is
+    /// zero-copy here, which callers cannot observe).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes { data: Arc::from(data) }
+    }
+
+    /// A buffer holding a copy of `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: Arc::from(data) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Bytes {
+        Bytes::from_static(v)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(v: [u8; N]) -> Bytes {
+        Bytes { data: Arc::from(&v[..]) }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.data[..] == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+/// A growable byte buffer, frozen into [`Bytes`] when complete.
+#[derive(Clone, Default, Debug)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: Arc::from(self.data) }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Little-endian write methods, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert!(Bytes::new().is_empty());
+        assert_eq!(&Bytes::from_static(b"hi")[..], b"hi");
+        assert_eq!(&Bytes::copy_from_slice(&[9])[..], &[9]);
+    }
+
+    #[test]
+    fn bytes_mut_builds_and_freezes() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(1);
+        m.put_u16_le(0x0203);
+        m.put_u32_le(0x04050607);
+        m.put_u64_le(0x08090a0b0c0d0e0f);
+        m.put_slice(&[0xff]);
+        m.extend_from_slice(&[0xee]);
+        let b = m.freeze();
+        assert_eq!(
+            &b[..],
+            &[1, 3, 2, 7, 6, 5, 4, 0xf, 0xe, 0xd, 0xc, 0xb, 0xa, 9, 8, 0xff, 0xee]
+        );
+    }
+}

@@ -399,7 +399,7 @@ mod tests {
         assert!(b.is_empty());
         b.append(&Record::value_only(b"xyz"));
         let second = b.seal();
-        let h2 = ChunkView::parse(&second).unwrap().header().clone();
+        let h2 = *ChunkView::parse(&second).unwrap().header();
         assert_eq!(h2.producer, ProducerId(2));
         assert_eq!(h2.stream, StreamId(3));
         assert_eq!(h2.streamlet, StreamletId(4));

@@ -163,12 +163,36 @@ pub struct Envelope {
     pub status: StatusCode,
     pub request_id: u64,
     pub from: NodeId,
+    /// Remaining time budget for this request in microseconds at the
+    /// moment it was sent; `0` means no deadline. Servers drop requests
+    /// that sat in their queues past this budget instead of doing work
+    /// whose caller has already given up (RAMCloud-style deadline
+    /// propagation). Meaningless on responses (always `0`).
+    pub deadline_micros: u64,
     pub payload: Bytes,
 }
 
 impl Envelope {
     pub fn request(opcode: OpCode, request_id: u64, from: NodeId, payload: Bytes) -> Self {
-        Self { kind: FrameKind::Request, opcode, status: StatusCode::Ok, request_id, from, payload }
+        Self {
+            kind: FrameKind::Request,
+            opcode,
+            status: StatusCode::Ok,
+            request_id,
+            from,
+            deadline_micros: 0,
+            payload,
+        }
+    }
+
+    /// Stamps the remaining time budget onto a request.
+    pub fn with_deadline(mut self, budget: std::time::Duration) -> Self {
+        // Saturate instead of wrapping; 0 stays "no deadline", so a
+        // sub-microsecond budget rounds up to 1.
+        self.deadline_micros = u64::try_from(budget.as_micros())
+            .unwrap_or(u64::MAX)
+            .max(u64::from(!budget.is_zero()));
+        self
     }
 
     pub fn response(
@@ -178,7 +202,15 @@ impl Envelope {
         status: StatusCode,
         payload: Bytes,
     ) -> Self {
-        Self { kind: FrameKind::Response, opcode, status, request_id, from, payload }
+        Self {
+            kind: FrameKind::Response,
+            opcode,
+            status,
+            request_id,
+            from,
+            deadline_micros: 0,
+            payload,
+        }
     }
 
     /// An error response carrying the error's message as payload.
@@ -196,7 +228,7 @@ impl Envelope {
 
     /// Serialized envelope header length (excluding the outer u32 length
     /// prefix used by stream transports).
-    pub const HEADER_LEN: usize = 16;
+    pub const HEADER_LEN: usize = 24;
 
     /// Serializes header + payload (no outer length prefix).
     pub fn encode(&self) -> Bytes {
@@ -207,6 +239,7 @@ impl Envelope {
             .u8(0)
             .u64(self.request_id)
             .u32(self.from.raw())
+            .u64(self.deadline_micros)
             .bytes(&self.payload);
         w.finish()
     }
@@ -224,8 +257,9 @@ impl Envelope {
         let _reserved = r.u8()?;
         let request_id = r.u64()?;
         let from = NodeId(r.u32()?);
+        let deadline_micros = r.u64()?;
         let payload = Bytes::copy_from_slice(r.bytes(r.remaining())?);
-        Ok(Envelope { kind, opcode, status, request_id, from, payload })
+        Ok(Envelope { kind, opcode, status, request_id, from, deadline_micros, payload })
     }
 
     /// Extracts the error from a response envelope, or `Ok(())` if the

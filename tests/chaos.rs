@@ -1,0 +1,283 @@
+//! Chaos tests: the full produce → replicate → consume pipeline under a
+//! seeded fault injector (drops, duplicates, delays) plus one transient
+//! network partition, asserting the client-visible contract holds: every
+//! acknowledged record is observed exactly once, in per-slot order.
+//!
+//! The faults are deterministic per (seed, node) pair; the assertions are
+//! invariants, not schedules, so thread interleaving cannot flip them.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use kera::broker::cluster::{backup_node, broker_node, KeraCluster};
+use kera::client::consumer::{Consumer, ConsumerConfig, Subscription};
+use kera::client::producer::{Producer, ProducerConfig};
+use kera::client::MetadataClient;
+use kera::common::config::{
+    ClusterConfig, FaultProfile, ReplicationConfig, RetryPolicy, StreamConfig, VirtualLogPolicy,
+};
+use kera::common::ids::{ConsumerId, ProducerId, StreamId, StreamletId};
+
+fn chaos_cluster(brokers: u32, profile: FaultProfile) -> KeraCluster {
+    KeraCluster::start(ClusterConfig {
+        brokers,
+        worker_threads: 4,
+        faults: Some(profile),
+        // Patient client, snappy retransmits: a dropped request or reply
+        // is retransmitted within attempt_timeout, and the attempt budget
+        // (40 x 250 ms = the 10 s call deadline) rides out both slow
+        // server-side replication and the partition window below.
+        retry: RetryPolicy {
+            max_attempts: 40,
+            attempt_timeout: Duration::from_millis(250),
+            initial_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+        },
+        ..ClusterConfig::default()
+    })
+    .unwrap()
+}
+
+fn stream_config(factor: u32) -> StreamConfig {
+    StreamConfig {
+        id: StreamId(1),
+        streamlets: 4,
+        active_groups: 1,
+        segments_per_group: 8,
+        segment_size: 1 << 16,
+        replication: ReplicationConfig {
+            factor,
+            policy: VirtualLogPolicy::SharedPerBroker(2),
+            vseg_size: 1 << 16,
+        },
+    }
+}
+
+/// A 64-byte record value carrying its sequence number in the first 8
+/// bytes. Fat records mean many chunks, many produce/replicate RPCs —
+/// enough traffic for percent-level fault rates to actually fire.
+fn payload(i: u64) -> [u8; 64] {
+    let mut v = [0u8; 64];
+    v[..8].copy_from_slice(&i.to_le_bytes());
+    v
+}
+
+/// Drains the consumer until `n` records arrive (or a deadline), checking
+/// per-(streamlet, slot) order as it goes; returns the observed values.
+fn drain(consumer: &Consumer, n: u64) -> Vec<u64> {
+    let mut seen: Vec<u64> = Vec::new();
+    let mut last_per_slot: HashMap<(StreamletId, u32), u64> = HashMap::new();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while (seen.len() as u64) < n && Instant::now() < deadline {
+        let Some(batch) = consumer.next_batch(Duration::from_millis(100)) else { continue };
+        let key = (batch.streamlet, batch.slot);
+        batch
+            .for_each_record(|_, rec| {
+                let v = u64::from_le_bytes(rec.value()[..8].try_into().unwrap());
+                if let Some(&prev) = last_per_slot.get(&key) {
+                    assert!(v > prev, "per-slot order violated under faults");
+                }
+                last_per_slot.insert(key, v);
+                seen.push(v);
+            })
+            .unwrap();
+    }
+    seen
+}
+
+/// Lossy, duplicating, delaying network plus one transient partition that
+/// black-holes every broker→backup path for 400 ms mid-produce. Retries,
+/// retransmit dedup and replication re-issues must carry every record
+/// through: no loss, no duplication, order preserved.
+#[test]
+fn lossy_cluster_with_transient_partition_loses_nothing() {
+    let cluster = chaos_cluster(
+        3,
+        FaultProfile {
+            seed: 0xC4A0_57E5,
+            drop_rate: 0.05,
+            duplicate_rate: 0.02,
+            delay_rate: 0.10,
+            max_delay: Duration::from_millis(2),
+        },
+    );
+    let prod_rt = cluster.client(0);
+    let meta_p = MetadataClient::new(prod_rt.client(), cluster.coordinator());
+    meta_p.create_stream(stream_config(2)).unwrap();
+
+    let producer = Producer::new(
+        &meta_p,
+        &[StreamId(1)],
+        ProducerConfig {
+            id: ProducerId(0),
+            chunk_size: 512,
+            linger: Duration::from_millis(1),
+            ..ProducerConfig::default()
+        },
+    )
+    .unwrap();
+
+    const PHASE1: u64 = 800;
+    const PHASE2: u64 = 800;
+    const PHASE3: u64 = 400;
+    const TOTAL: u64 = PHASE1 + PHASE2 + PHASE3;
+
+    // Phase 1: steady state under random drops/duplicates/delays. The
+    // short sleeps spread sends over many linger windows, so the producer
+    // issues many requests instead of a few giant batches — enough RPC
+    // traffic for the percent-level fault rates to actually fire.
+    for i in 0..PHASE1 {
+        producer.send(StreamId(1), &payload(i)).unwrap();
+        if i % 50 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    producer.flush().unwrap();
+
+    // Phase 2: black-hole every broker→backup pair (replication stalls
+    // cluster-wide), heal after 400 ms while produces are in flight. The
+    // client's retransmits and the replication channel's re-issues both
+    // outlast the window, so `VirtualLog::sync` succeeds via retries.
+    let plan = cluster.fault_plan().expect("cluster started with faults").clone();
+    for b in 0..3 {
+        for k in 0..3 {
+            plan.partition(broker_node(b), backup_node(k));
+        }
+    }
+    let healer = {
+        let plan = plan.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(400));
+            plan.heal_all();
+        })
+    };
+    for i in PHASE1..PHASE1 + PHASE2 {
+        producer.send(StreamId(1), &payload(i)).unwrap();
+        if i % 50 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    producer.flush().unwrap();
+    healer.join().unwrap();
+
+    // Phase 3: post-heal steady state.
+    for i in PHASE1 + PHASE2..TOTAL {
+        producer.send(StreamId(1), &payload(i)).unwrap();
+        if i % 50 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    producer.flush().unwrap();
+    assert_eq!(producer.metrics().items(), TOTAL, "every send acknowledged");
+    assert_eq!(producer.failed_requests(), 0, "no request exhausted retries");
+    producer.close().unwrap();
+
+    // The injector actually did something: messages were dropped by the
+    // random faults and black-holed by the partition.
+    assert!(
+        plan.dropped() > 0,
+        "drop_rate 5% never fired: dropped={} duplicated={} delayed={} blocked={}",
+        plan.dropped(),
+        plan.duplicated(),
+        plan.delayed(),
+        plan.blocked(),
+    );
+    assert!(plan.blocked() > 0, "partition window black-holed no messages");
+
+    // Every record exactly once, in per-slot order, from a fresh client.
+    let cons_rt = cluster.client(1);
+    let meta_c = MetadataClient::new(cons_rt.client(), cluster.coordinator());
+    let consumer = Consumer::new(
+        &meta_c,
+        &[Subscription::whole_stream(StreamId(1))],
+        ConsumerConfig { id: ConsumerId(0), fetch_max_bytes: 4096, ..ConsumerConfig::default() },
+    )
+    .unwrap();
+    let mut seen = drain(&consumer, TOTAL);
+    assert_eq!(seen.len() as u64, TOTAL, "record count under faults");
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len() as u64, TOTAL, "no duplicates slipped through");
+    assert_eq!(*seen.first().unwrap(), 0);
+    assert_eq!(*seen.last().unwrap(), TOTAL - 1);
+
+    consumer.close();
+    cluster.shutdown();
+}
+
+/// Crash recovery driven over a lossy network: enumerate/read/re-ingest
+/// RPCs all ride the retry plane, and the recovered stream still serves
+/// every acknowledged record exactly once.
+#[test]
+fn crash_recovery_survives_lossy_network() {
+    let mut cluster = chaos_cluster(
+        4,
+        FaultProfile {
+            seed: 0xDEC0_DE01,
+            drop_rate: 0.01,
+            duplicate_rate: 0.01,
+            delay_rate: 0.02,
+            max_delay: Duration::from_millis(1),
+        },
+    );
+    let prod_rt = cluster.client(0);
+    let meta_p = MetadataClient::new(prod_rt.client(), cluster.coordinator());
+    meta_p.create_stream(stream_config(3)).unwrap();
+
+    let producer = Producer::new(
+        &meta_p,
+        &[StreamId(1)],
+        ProducerConfig {
+            id: ProducerId(0),
+            chunk_size: 512,
+            linger: Duration::from_millis(1),
+            ..ProducerConfig::default()
+        },
+    )
+    .unwrap();
+    const N: u64 = 800;
+    for i in 0..N {
+        producer.send(StreamId(1), &i.to_le_bytes()).unwrap();
+    }
+    producer.flush().unwrap();
+    assert_eq!(producer.metrics().items(), N);
+    producer.close().unwrap();
+
+    cluster.crash_server(0);
+
+    let rec_rt = cluster.client(1);
+    let manager = kera::recovery::RecoveryManager::new(
+        rec_rt.client(),
+        cluster.coordinator(),
+        cluster.backups(),
+        // Small replay batches: each RecoveryIngest stays well inside
+        // one attempt_timeout even when its replication hits drops.
+        kera::recovery::RecoveryConfig {
+            replay_request_bytes: 64 << 10,
+            ..kera::recovery::RecoveryConfig::default()
+        },
+    );
+    let report = manager.recover(broker_node(0)).unwrap();
+    assert!(report.reassigned_streamlets > 0);
+    assert!(report.records_recovered > 0);
+
+    let plan = cluster.fault_plan().unwrap();
+    assert!(plan.dropped() > 0, "recovery traffic saw no drops");
+
+    let cons_rt = cluster.client(2);
+    let meta_c = MetadataClient::new(cons_rt.client(), cluster.coordinator());
+    let consumer = Consumer::new(
+        &meta_c,
+        &[Subscription::whole_stream(StreamId(1))],
+        ConsumerConfig { id: ConsumerId(0), fetch_max_bytes: 4096, ..ConsumerConfig::default() },
+    )
+    .unwrap();
+    let mut seen = drain(&consumer, N);
+    assert_eq!(seen.len() as u64, N, "record count after faulty recovery");
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len() as u64, N);
+
+    consumer.close();
+    cluster.shutdown();
+}

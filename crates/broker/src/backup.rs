@@ -69,7 +69,7 @@ impl BackupService {
     ) -> Arc<Self> {
         Arc::new(Self {
             node,
-            segments: RwLock::new(HashMap::new()),
+            segments: RwLock::named("backup.segments", HashMap::new()),
             flusher,
             io_cost_ns,
             writes: Counter::new(),
@@ -103,7 +103,7 @@ impl BackupService {
             None => {
                 let mut guard = self.segments.write();
                 Arc::clone(guard.entry(key).or_insert_with(|| {
-                    Arc::new(Mutex::new(ReplicatedSegment {
+                    Arc::new(Mutex::named("backup.segment", ReplicatedSegment {
                         buf: Vec::new(),
                         closed: false,
                         checksum: Crc32c::new(),

@@ -23,6 +23,7 @@ use kera_common::metrics::Counter;
 use kera_common::{KeraError, Result};
 use kera_rpc::{RequestContext, RpcClient, Service};
 use kera_storage::store::StreamStore;
+use kera_storage::streamlet::SlotAppend;
 use kera_vlog::selector::SelectionPolicy;
 use kera_vlog::vseg::ChunkRef;
 use kera_vlog::{ReplicationDriver, VirtualLog, VirtualLogSet};
@@ -58,6 +59,9 @@ pub struct BrokerService {
     pub bytes_in: Counter,
     /// Fetch requests served.
     pub fetches: Counter,
+    /// Retried chunks answered from the per-slot replay cache instead of
+    /// being appended a second time.
+    pub chunks_replayed: Counter,
 }
 
 impl BrokerService {
@@ -93,6 +97,7 @@ impl BrokerService {
             records_in: Counter::new(),
             bytes_in: Counter::new(),
             fetches: Counter::new(),
+            chunks_replayed: Counter::new(),
         })
     }
 
@@ -157,14 +162,16 @@ impl BrokerService {
                 .streamlet(h.streamlet)
                 .ok_or(KeraError::UnknownStreamlet(h.stream, h.streamlet))?;
 
+            let seq = h.sequence_tag();
             if config.replication.factor > 1 {
                 let slot = streamlet.slot_of(h.producer);
                 let vlog = self.vlogs.log_for(&config, h.streamlet, slot)?;
                 let checksum = h.checksum;
-                let (append, ticket) = streamlet.append_chunk_and_then(
+                let outcome = streamlet.append_chunk_tracked(
                     h.producer,
                     chunk.bytes(),
                     h.record_count,
+                    seq,
                     |a| {
                         vlog.append(ChunkRef {
                             segment: Arc::clone(&a.segment),
@@ -173,19 +180,46 @@ impl BrokerService {
                             checksum,
                             gref: a.gref,
                         })
+                        .map(Some)
                     },
                 )?;
-                let ticket = ticket?;
-                match pending.iter_mut().find(|(l, _)| Arc::ptr_eq(l, &vlog)) {
-                    Some((_, t)) => *t = (*t).max(ticket),
-                    None => pending.push((vlog, ticket)),
+                let (ack, ticket, fresh) = match outcome {
+                    SlotAppend::Fresh { append, token } => (append.to_ack(), token, true),
+                    SlotAppend::Replay { ack, token } => (ack, token, false),
+                };
+                // A replayed chunk still gates the response on the
+                // durability of its *original* append: wait on the
+                // ticket recorded back then.
+                if let Some(ticket) = ticket {
+                    match pending.iter_mut().find(|(l, _)| Arc::ptr_eq(l, &vlog)) {
+                        Some((_, t)) => *t = (*t).max(ticket),
+                        None => pending.push((Arc::clone(&vlog), ticket)),
+                    }
                 }
-                acks.push(append.to_ack());
+                acks.push(ack);
+                if !fresh {
+                    self.chunks_replayed.inc();
+                    continue;
+                }
             } else {
-                let append =
-                    streamlet.append_chunk(h.producer, chunk.bytes(), h.record_count)?;
-                append.segment.make_all_durable();
-                acks.push(append.to_ack());
+                let outcome = streamlet.append_chunk_tracked(
+                    h.producer,
+                    chunk.bytes(),
+                    h.record_count,
+                    seq,
+                    |a| {
+                        a.segment.make_all_durable();
+                        Ok(None)
+                    },
+                )?;
+                match outcome {
+                    SlotAppend::Fresh { append, .. } => acks.push(append.to_ack()),
+                    SlotAppend::Replay { ack, .. } => {
+                        acks.push(ack);
+                        self.chunks_replayed.inc();
+                        continue;
+                    }
+                }
             }
             self.chunks_in.inc();
             self.records_in.add(u64::from(h.record_count));

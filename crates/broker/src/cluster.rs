@@ -163,6 +163,8 @@ impl KeraCluster {
     /// the recovery manager, test drivers). Client traffic crosses the
     /// same fault injector as server traffic.
     pub fn client(&self, i: u32) -> NodeRuntime {
+        // lint: allow(no-panic) — cluster assembly in the test/bench harness;
+        // a duplicate client id is a driver bug and must fail fast.
         let transport = self.net.register(client_node(i)).expect("register client node");
         let transport: Arc<dyn Transport> = match &self.fault_plan {
             Some(plan) => Arc::new(FaultInjector::new(transport, plan.clone())),

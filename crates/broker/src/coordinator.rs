@@ -39,7 +39,7 @@ impl CoordinatorService {
     pub fn new(node: NodeId, brokers: Vec<NodeId>) -> Arc<Self> {
         Arc::new(Self {
             node,
-            state: Mutex::new(CoordinatorState {
+            state: Mutex::named("coordinator.state", CoordinatorState {
                 brokers,
                 dead: HashSet::new(),
                 streams: HashMap::new(),

@@ -95,6 +95,10 @@ struct Shared {
     discard: AtomicBool,
     /// Chunks sealed but not yet acknowledged (flush barrier).
     outstanding: AtomicU64,
+    /// Per-chunk sequence tags (broker-side retry dedup). Seeded from the
+    /// wall clock so a restarted producer reusing an id cannot collide
+    /// with tags its predecessor left in broker replay caches.
+    next_tag: AtomicU64,
     /// Records acknowledged by brokers.
     pub acked: ThroughputMeter,
     /// Request latency (send → ack).
@@ -130,6 +134,12 @@ impl Producer {
             shutdown: AtomicBool::new(false),
             discard: AtomicBool::new(false),
             outstanding: AtomicU64::new(0),
+            next_tag: AtomicU64::new(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(1),
+            ),
             acked: ThroughputMeter::new(),
             request_latency: LatencyHistogram::new(),
             failed_requests: Counter::new(),
@@ -193,34 +203,33 @@ impl Producer {
         );
         let slot = &route.pending[streamlet.raw() as usize];
 
-        let sealed = {
-            let mut p = slot.lock();
-            if p.builder.append(record) {
-                if p.since.is_none() {
-                    p.since = Some(Instant::now());
-                }
-                None
-            } else {
-                if p.builder.is_empty() {
-                    return Err(KeraError::ChunkTooLarge {
-                        chunk: record.encoded_len(),
-                        segment: self.shared.cfg.chunk_size,
-                    });
-                }
-                // Seal the full chunk, rearm the builder, retry.
-                let sealed = seal_pending(&self.shared, &route, streamlet.raw(), &mut p)?;
-                if !p.builder.append(record) {
-                    return Err(KeraError::ChunkTooLarge {
-                        chunk: record.encoded_len(),
-                        segment: self.shared.cfg.chunk_size,
-                    });
-                }
+        let mut p = slot.lock();
+        if p.builder.append(record) {
+            if p.since.is_none() {
                 p.since = Some(Instant::now());
-                Some(sealed)
             }
-        };
-        if let Some(sealed) = sealed {
-            // Blocking push: backpressure when the cluster lags.
+        } else {
+            if p.builder.is_empty() {
+                return Err(KeraError::ChunkTooLarge {
+                    chunk: record.encoded_len(),
+                    segment: self.shared.cfg.chunk_size,
+                });
+            }
+            // Seal the full chunk, rearm the builder, retry.
+            let sealed = seal_pending(&self.shared, &route, streamlet.raw(), &mut p)?;
+            if !p.builder.append(record) {
+                return Err(KeraError::ChunkTooLarge {
+                    chunk: record.encoded_len(),
+                    segment: self.shared.cfg.chunk_size,
+                });
+            }
+            p.since = Some(Instant::now());
+            // Enqueue while still holding the slot lock: queue order must
+            // equal per-slot seal order, or a linger-sealed successor can
+            // overtake this chunk and invert the slot's record order on
+            // the broker. Blocking here is the backpressure path; the
+            // linger scan uses try_lock, so the requests thread can never
+            // deadlock against a sender parked on a full queue.
             self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
             self.shared
                 .ready_tx
@@ -236,15 +245,11 @@ impl Producer {
         let routes: Vec<Arc<StreamRoute>> = self.shared.routes.read().values().cloned().collect();
         for route in routes {
             for sl in 0..route.metadata.config.streamlets {
-                let sealed = {
-                    let mut p = route.pending[sl as usize].lock();
-                    if p.builder.is_empty() {
-                        None
-                    } else {
-                        Some(seal_pending(&self.shared, &route, sl, &mut p)?)
-                    }
-                };
-                if let Some(sealed) = sealed {
+                let mut p = route.pending[sl as usize].lock();
+                if !p.builder.is_empty() {
+                    // Seal + enqueue under the slot lock (see send_record:
+                    // queue order must equal per-slot seal order).
+                    let sealed = seal_pending(&self.shared, &route, sl, &mut p)?;
                     self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
                     self.shared.ready_tx.send(sealed).map_err(|_| KeraError::ShuttingDown)?;
                 }
@@ -315,7 +320,7 @@ fn seal_pending(
     p: &mut PendingChunk,
 ) -> Result<SealedChunk> {
     let records = p.builder.record_count();
-    let bytes = p.builder.seal();
+    let bytes = p.builder.seal_with_sequence(shared.next_tag.fetch_add(1, Ordering::Relaxed));
     let sl = kera_common::ids::StreamletId(streamlet);
     p.builder.reset(shared.cfg.id, route.metadata.config.id, sl);
     p.since = None;
@@ -370,7 +375,7 @@ fn requests_loop(shared: Arc<Shared>, ready_rx: Receiver<SealedChunk>) {
         // scan walks every pending slot of every stream).
         let scan_interval = shared.cfg.linger.max(Duration::from_micros(200)) / 2;
         if last_linger_scan.elapsed() >= scan_interval {
-            scan_linger(&shared, &mut batch);
+            scan_linger(&shared, &ready_rx, &mut batch);
             last_linger_scan = Instant::now();
         }
 
@@ -491,8 +496,8 @@ fn complete(shared: &Shared, inf: InFlight, mut result: Result<Bytes>) {
             break;
         }
         attempts += 1;
-        // Chunk (producer, offset) tags make retries exactly-once on the
-        // broker side; re-send verbatim.
+        // Chunk sequence tags make retries exactly-once on the broker
+        // side (per-slot replay caches); re-send verbatim.
         result = shared.rpc.call(
             inf.broker,
             OpCode::Produce,
@@ -516,16 +521,34 @@ fn complete(shared: &Shared, inf: InFlight, mut result: Result<Bytes>) {
 }
 
 /// Seals chunks whose linger expired (requests thread only).
-fn scan_linger(shared: &Shared, batch: &mut Vec<SealedChunk>) {
+///
+/// Linger-sealed chunks bypass the ready queue and enter `batch`
+/// directly, so ordering needs care: a slot's earlier chunks may still
+/// be in the queue (enqueued after this round's drain). Holding the slot
+/// lock while draining the queue *before* sealing restores the
+/// invariant — seal+enqueue is atomic under the slot lock on the source
+/// side, so once the lock is held, every earlier chunk of the slot is
+/// either already in `batch` or picked up by the drain below, and the
+/// linger chunk lands strictly after all of them.
+fn scan_linger(shared: &Shared, ready_rx: &Receiver<SealedChunk>, batch: &mut Vec<SealedChunk>) {
     let routes: Vec<Arc<StreamRoute>> = shared.routes.read().values().cloned().collect();
     for route in routes {
         for sl in 0..route.metadata.config.streamlets {
-            let mut p = route.pending[sl as usize].lock();
+            // try_lock: a held lock is a source thread inside its
+            // seal+enqueue critical section (possibly parked on a full
+            // queue that only this thread drains) — skip the slot and
+            // catch it on the next scan instead of risking a deadlock.
+            let Some(mut p) = route.pending[sl as usize].try_lock() else {
+                continue;
+            };
             let expired = p
                 .since
                 .map(|s| s.elapsed() >= shared.cfg.linger)
                 .unwrap_or(false);
             if expired && !p.builder.is_empty() {
+                while let Ok(c) = ready_rx.try_recv() {
+                    batch.push(c);
+                }
                 if let Ok(sealed) = seal_pending(shared, &route, sl, &mut p) {
                     shared.outstanding.fetch_add(1, Ordering::AcqRel);
                     batch.push(sealed);

@@ -412,6 +412,10 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Measurement> {
     // Hand freed arena pages back to the OS: a sweep runs dozens of
     // experiments in one process, and glibc otherwise accumulates each
     // point's high-water mark until the OOM killer intervenes.
+    // SAFETY: malloc_trim is a glibc extension with no preconditions —
+    // it only releases unused arena pages back to the OS and is safe to
+    // call from any thread at any time; the declaration matches the
+    // glibc prototype `int malloc_trim(size_t pad)`.
     #[cfg(target_env = "gnu")]
     unsafe {
         unsafe extern "C" {

@@ -58,7 +58,7 @@ impl PartitionLog {
             partition,
             role,
             factor,
-            inner: Mutex::new(LogInner {
+            inner: Mutex::named("ksim.partition", LogInner {
                 data: Vec::new(),
                 next_record_offset: 0,
                 follower_leo: HashMap::new(),
@@ -67,7 +67,7 @@ impl PartitionLog {
             leo: AtomicU64::new(0),
             hw: AtomicU64::new(0),
             hw_cv: Condvar::new(),
-            hw_lock: Mutex::new(()),
+            hw_lock: Mutex::named("ksim.hw", ()),
         }
     }
 

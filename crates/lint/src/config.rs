@@ -1,0 +1,193 @@
+//! Configuration for the analyzer: the declared lock hierarchy and the
+//! rule scoping, read from `lint/lock-order.toml`.
+//!
+//! The build environment is offline, so this is a tiny hand-rolled
+//! parser for the TOML subset the config actually uses: `[tables]`,
+//! `key = "string"`, `"quoted/key" = "string"` and
+//! `key = ["a", "b", ...]` (single- or multi-line arrays), with `#`
+//! comments. Anything fancier is a config error, loudly.
+
+use std::collections::HashMap;
+
+/// Parsed lint configuration.
+#[derive(Debug, Default, Clone)]
+pub struct LintConfig {
+    /// Lock classes in acquisition order: a lock earlier in the list must
+    /// be acquired before any lock later in the list, never after.
+    pub order: Vec<String>,
+    /// Receiver identifier (optionally `crate/ident`) -> lock class.
+    pub aliases: HashMap<String, String>,
+    /// Crates whose non-test code may not panic.
+    pub hot_path_crates: Vec<String>,
+}
+
+impl LintConfig {
+    /// Rank of a lock class in the declared order (lower acquires first).
+    pub fn rank(&self, class: &str) -> Option<usize> {
+        self.order.iter().position(|c| c == class)
+    }
+
+    /// Resolves a receiver identifier seen in `krate` to its lock class:
+    /// `crate/ident` aliases win over bare `ident` aliases; an identifier
+    /// that *is* a class name maps to itself.
+    pub fn class_of(&self, krate: &str, recv: &str) -> Option<String> {
+        if let Some(c) = self.aliases.get(&format!("{krate}/{recv}")) {
+            return Some(c.clone());
+        }
+        if let Some(c) = self.aliases.get(recv) {
+            return Some(c.clone());
+        }
+        if self.order.iter().any(|c| c == recv) {
+            return Some(recv.to_string());
+        }
+        None
+    }
+
+    pub fn parse(text: &str) -> Result<LintConfig, String> {
+        let mut cfg = LintConfig::default();
+        let mut table = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((n, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                table = name.trim().to_string();
+                continue;
+            }
+            let (key, mut value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or_else(|| format!("line {}: expected `key = value`", n + 1))?;
+            let key = unquote(&key);
+            // Multi-line array: keep consuming until the closing bracket.
+            if value.starts_with('[') && !balanced_array(&value) {
+                for (_, cont) in lines.by_ref() {
+                    value.push(' ');
+                    value.push_str(strip_comment(cont).trim());
+                    if balanced_array(&value) {
+                        break;
+                    }
+                }
+            }
+            match (table.as_str(), key.as_str()) {
+                ("hierarchy", "order") => cfg.order = parse_array(&value)?,
+                ("rules", "hot_path_crates") => cfg.hot_path_crates = parse_array(&value)?,
+                ("aliases", recv) => {
+                    cfg.aliases.insert(recv.to_string(), parse_string(&value)?);
+                }
+                (t, k) => {
+                    return Err(format!("line {}: unknown config key [{t}] {k}", n + 1));
+                }
+            }
+        }
+        // Aliased classes must exist in the hierarchy, or ranks silently
+        // never apply.
+        for (recv, class) in &cfg.aliases {
+            if !cfg.order.iter().any(|c| c == class) {
+                return Err(format!(
+                    "alias `{recv}` maps to `{class}` which is not in [hierarchy] order"
+                ));
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a quoted string would break this, but the config
+    // format bans `#` in keys/classes, so a plain scan is enough.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unquote(s: &str) -> String {
+    let s = s.trim();
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(s)
+        .to_string()
+}
+
+fn balanced_array(s: &str) -> bool {
+    s.matches('[').count() == s.matches(']').count() && s.trim_end().ends_with(']')
+}
+
+fn parse_string(v: &str) -> Result<String, String> {
+    let v = v.trim();
+    if v.starts_with('"') && v.ends_with('"') && v.len() >= 2 {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!("expected a quoted string, got `{v}`"))
+    }
+}
+
+fn parse_array(v: &str) -> Result<Vec<String>, String> {
+    let v = v.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected an array, got `{v}`"))?;
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_real_shape() {
+        let cfg = LintConfig::parse(
+            r#"
+# comment
+[hierarchy]
+order = [
+  "a.first",   # earliest
+  "b.second",
+]
+
+[rules]
+hot_path_crates = ["rpc", "vlog"]
+
+[aliases]
+slots = "a.first"
+"vlog/state" = "b.second"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.order, vec!["a.first", "b.second"]);
+        assert_eq!(cfg.rank("b.second"), Some(1));
+        assert_eq!(cfg.class_of("vlog", "state").as_deref(), Some("b.second"));
+        assert_eq!(cfg.class_of("rpc", "state"), None);
+        assert_eq!(cfg.class_of("storage", "slots").as_deref(), Some("a.first"));
+        assert_eq!(cfg.hot_path_crates, vec!["rpc", "vlog"]);
+    }
+
+    #[test]
+    fn rejects_unknown_alias_target() {
+        let err = LintConfig::parse(
+            "[hierarchy]\norder = [\"a\"]\n[aliases]\nx = \"missing\"\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("missing"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(LintConfig::parse("[hierarchy]\norder = notanarray\n").is_err());
+        assert!(LintConfig::parse("[what]\nx = \"y\"\n").is_err());
+    }
+}

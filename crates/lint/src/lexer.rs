@@ -1,0 +1,376 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! Produces just enough token structure for the analyzer: identifiers,
+//! punctuation, literals and lifetimes, with every comment collected on
+//! the side (the rules need comments for `// lint: allow(...)`
+//! annotations and `// SAFETY:` justifications). The lexer is exact
+//! about the hard parts — nested block comments, raw strings with
+//! arbitrary `#` fences, byte/char literals vs. lifetimes — because a
+//! token-level analyzer is only trustworthy if it never mistakes string
+//! contents for code.
+
+/// Token kinds the analyzer distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`self`, `fn`, `unwrap`, ...).
+    Ident,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String, byte-string, raw-string or char literal.
+    Lit,
+    /// A single punctuation character (`.`, `{`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token. `text` borrows from the source.
+#[derive(Clone, Copy, Debug)]
+pub struct Token<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// A comment with the line span it covers (both 1-based, inclusive).
+#[derive(Clone, Debug)]
+pub struct Comment<'a> {
+    pub text: &'a str,
+    pub first_line: u32,
+    pub last_line: u32,
+}
+
+/// Lexer output: the token stream plus all comments.
+pub struct Lexed<'a> {
+    pub tokens: Vec<Token<'a>>,
+    pub comments: Vec<Comment<'a>>,
+}
+
+pub fn lex(src: &str) -> Lexed<'_> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let count_lines = |s: &str| s.bytes().filter(|&b| b == b'\n').count() as u32;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    text: &src[start..i],
+                    first_line: line,
+                    last_line: line,
+                });
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = i;
+                let first_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    text: &src[start..i],
+                    first_line,
+                    last_line: line,
+                });
+            }
+            b'"' => {
+                let (end, lines) = scan_string(src, i);
+                tokens.push(Token { kind: TokKind::Lit, text: &src[i..end], line });
+                line += lines;
+                i = end;
+            }
+            b'r' | b'b' if is_raw_or_byte_string(bytes, i) => {
+                let (end, lines) = scan_raw_or_byte(src, i);
+                tokens.push(Token { kind: TokKind::Lit, text: &src[i..end], line });
+                line += lines;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime vs char literal: a lifetime is `'` + ident with
+                // no closing quote right after one scalar.
+                if let Some(end) = scan_char_literal(bytes, i) {
+                    let text = &src[i..end];
+                    tokens.push(Token { kind: TokKind::Lit, text, line });
+                    line += count_lines(text);
+                    i = end;
+                } else {
+                    let mut j = i + 1;
+                    while j < bytes.len() && is_ident_continue(bytes[j]) {
+                        j += 1;
+                    }
+                    tokens.push(Token { kind: TokKind::Lifetime, text: &src[i..j], line });
+                    i = j;
+                }
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokKind::Ident, text: &src[start..i], line });
+            }
+            _ if b.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (is_ident_continue(bytes[i]) || bytes[i] == b'.')
+                    && !(bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1] == b'.')
+                {
+                    // Stop a float scan from eating `..` range syntax or a
+                    // method call like `0.max(x)`.
+                    if bytes[i] == b'.'
+                        && i + 1 < bytes.len()
+                        && is_ident_start(bytes[i + 1])
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokKind::Num, text: &src[start..i], line });
+            }
+            _ => {
+                tokens.push(Token { kind: TokKind::Punct, text: &src[i..i + 1], line });
+                i += 1;
+            }
+        }
+    }
+    Lexed { tokens, comments }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Is `r"`, `r#"`, `b"`, `br"`, `b'`... starting at `i`?
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let rest = &bytes[i..];
+    if rest.len() < 2 {
+        return false;
+    }
+    match rest[0] {
+        b'r' => rest[1] == b'"' || rest[1] == b'#',
+        b'b' => {
+            rest[1] == b'"'
+                || rest[1] == b'\''
+                || (rest[1] == b'r' && rest.len() > 2 && (rest[2] == b'"' || rest[2] == b'#'))
+        }
+        _ => false,
+    }
+}
+
+/// Scans a `"..."` string starting at `i` (which must be the quote).
+/// Returns (index one past the closing quote, newlines crossed).
+fn scan_string(src: &str, i: usize) -> (usize, u32) {
+    let bytes = src.as_bytes();
+    let mut j = i + 1;
+    let mut lines = 0u32;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                lines += 1;
+                j += 1;
+            }
+            b'"' => return (j + 1, lines),
+            _ => j += 1,
+        }
+    }
+    (bytes.len(), lines)
+}
+
+/// Scans raw strings / byte strings / byte chars starting at `i`.
+fn scan_raw_or_byte(src: &str, i: usize) -> (usize, u32) {
+    let bytes = src.as_bytes();
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'\'' {
+        // Byte char literal b'x'.
+        let end = scan_char_literal(bytes, j).unwrap_or(bytes.len());
+        return (end, 0);
+    }
+    let raw = j < bytes.len() && bytes[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut fences = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        fences += 1;
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'"' {
+        // Not actually a string (e.g. `r#struct` raw identifier): emit as
+        // starting after the prefix; caller treats it as a 1-char token.
+        return (i + 1, 0);
+    }
+    j += 1;
+    let mut lines = 0u32;
+    if !raw {
+        // Plain b"..." with escapes.
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'\n' => {
+                    lines += 1;
+                    j += 1;
+                }
+                b'"' => return (j + 1, lines),
+                _ => j += 1,
+            }
+        }
+        return (bytes.len(), lines);
+    }
+    // Raw: ends at `"` followed by `fences` hashes.
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            lines += 1;
+            j += 1;
+            continue;
+        }
+        if bytes[j] == b'"' {
+            let have = bytes[j + 1..].iter().take_while(|&&b| b == b'#').count();
+            if have >= fences {
+                return (j + 1 + fences, lines);
+            }
+        }
+        j += 1;
+    }
+    (bytes.len(), lines)
+}
+
+/// Returns the end index of a char literal at `i` (the opening `'`),
+/// or `None` when this is a lifetime.
+fn scan_char_literal(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= bytes.len() {
+        return None;
+    }
+    if bytes[j] == b'\\' {
+        // Escape: \n, \x7f, \u{...}, \' ...
+        j += 2;
+        if j <= bytes.len() && j >= 2 && bytes[j - 1] == b'u' {
+            // \u{...}
+            if j < bytes.len() && bytes[j] == b'{' {
+                while j < bytes.len() && bytes[j] != b'}' {
+                    j += 1;
+                }
+                j += 1;
+            }
+        } else if j - 1 < bytes.len() && bytes[j - 1] == b'x' {
+            j += 2;
+        }
+        if j < bytes.len() && bytes[j] == b'\'' {
+            return Some(j + 1);
+        }
+        return Some(j.min(bytes.len()));
+    }
+    // Unescaped scalar: `'X'` where X is any single char (possibly
+    // multibyte). A lifetime has no closing quote right after.
+    let mut k = j + 1;
+    while k < bytes.len() && (bytes[k] & 0xC0) == 0x80 {
+        k += 1; // skip UTF-8 continuation bytes
+    }
+    if k < bytes.len() && bytes[k] == b'\'' && bytes[j] != b'\'' {
+        // Reject `''` and make sure `'a` followed by non-quote stays a
+        // lifetime.
+        Some(k + 1)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r##"
+            let a = "x.lock() // not real";
+            // real comment .lock()
+            let b = r#"also "not" real .unwrap()"#;
+            /* block /* nested */ .expect( */
+            c.lock();
+        "##;
+        let lexed = lex(src);
+        let locks: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text == "lock")
+            .collect();
+        assert_eq!(locks.len(), 1, "only the real .lock() outside literals");
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        let lits: Vec<_> = lexed.tokens.iter().filter(|t| t.kind == TokKind::Lit).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(lits.len(), 2);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "a\nb\n  c";
+        let lexed = lex(src);
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let src = "let s = \"one\ntwo\";\nafter";
+        let lexed = lex(src);
+        let after = lexed.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn idents_include_keywords() {
+        assert_eq!(idents("unsafe fn x"), vec!["unsafe", "fn", "x"]);
+    }
+}

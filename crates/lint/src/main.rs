@@ -1,0 +1,58 @@
+//! `kera-lint` — run the workspace concurrency/robustness analyzer.
+//!
+//! Usage: `cargo run -p kera-lint [workspace-root]`
+//! Exits 1 when any unannotated finding remains.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match kera_lint::find_workspace_root(&start) {
+                Some(root) => root,
+                None => {
+                    eprintln!(
+                        "kera-lint: no lint/lock-order.toml found above {} — \
+                         run from the workspace or pass the root as an argument",
+                        start.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let cfg = match kera_lint::load_config(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("kera-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match kera_lint::run_workspace(&root, &cfg) {
+        Ok(report) => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            println!(
+                "kera-lint: {} file(s) scanned, {} finding(s), {} suppressed by annotations",
+                report.files_scanned,
+                report.findings.len(),
+                report.suppressed
+            );
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("kera-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: acquiring `outer` (rank 0) while holding `inner` (rank 1)
+// inverts the declared hierarchy. Never compiled, only lexed.
+
+fn inverted(outer: &Lock, inner: &Lock) {
+    let _i = inner.lock();
+    let _o = outer.lock();
+}

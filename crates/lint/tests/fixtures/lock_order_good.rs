@@ -1,0 +1,13 @@
+// Fixture: hierarchy-respecting and non-overlapping acquisitions.
+
+fn ordered(outer: &Lock, inner: &Lock) {
+    let _o = outer.lock();
+    let _i = inner.lock();
+}
+
+fn sequential(outer: &Lock, inner: &Lock) {
+    {
+        let _i = inner.lock();
+    }
+    let _o = outer.lock();
+}

@@ -1,0 +1,11 @@
+// Fixture: one properly annotated allow, one missing its reason.
+
+fn startup(v: Option<u32>) -> u32 {
+    // lint: allow(no-panic) — config is validated before we get here
+    v.unwrap()
+}
+
+fn missing_reason(v: Option<u32>) -> u32 {
+    // lint: allow(no-panic)
+    v.unwrap()
+}

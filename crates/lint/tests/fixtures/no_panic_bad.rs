@@ -1,0 +1,13 @@
+// Fixture: panicking constructs in hot-path crate code.
+
+fn take(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn take_expect(v: Option<u32>) -> u32 {
+    v.expect("always set")
+}
+
+fn boom() {
+    panic!("boom");
+}

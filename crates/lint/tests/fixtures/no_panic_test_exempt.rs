@@ -1,0 +1,16 @@
+// Fixture: panics inside #[cfg(test)] regions are exempt even in
+// hot-path crates.
+
+fn safe() -> u32 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn check() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        v.expect("present");
+    }
+}

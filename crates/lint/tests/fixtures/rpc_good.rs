@@ -1,0 +1,14 @@
+// Fixture: guards released before the RPC boundary.
+
+fn drop_first(state: &Lock, rpc: &Client) {
+    let g = state.lock();
+    drop(g);
+    rpc.call(1);
+}
+
+fn scoped(state: &Lock, rpc: &Client) {
+    {
+        let _g = state.lock();
+    }
+    rpc.call(1);
+}

@@ -1,0 +1,5 @@
+// Fixture: unsafe without a SAFETY comment.
+
+fn raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

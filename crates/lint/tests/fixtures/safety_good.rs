@@ -1,0 +1,9 @@
+// Fixture: unsafe with its justification.
+
+fn raw(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { *p }
+}
+
+// SAFETY: the type owns no thread-affine state.
+unsafe impl Send for Holder {}

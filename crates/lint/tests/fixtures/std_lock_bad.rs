@@ -1,0 +1,4 @@
+// Fixture: raw std locks, banned outside crates/shims.
+
+use std::sync::Mutex;
+use std::sync::{Arc, RwLock};

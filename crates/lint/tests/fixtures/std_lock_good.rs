@@ -1,0 +1,6 @@
+// Fixture: the sanctioned imports.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};

@@ -92,7 +92,14 @@ fn run_crash_recovery(streamlets: u32, q: u32, policy: VirtualLogPolicy, n: u64)
             .for_each_record(|_, rec| {
                 let v = u64::from_le_bytes(rec.value().try_into().unwrap());
                 if let Some(&prev) = last_per_slot.get(&key) {
-                    assert!(v > prev, "per-slot order violated after recovery");
+                    assert!(
+                        v > prev,
+                        "per-slot order violated after recovery: \
+                         streamlet={:?} slot={} v={v} prev={prev} ({})",
+                        key.0,
+                        key.1,
+                        if v == prev { "duplicate" } else { "reorder" }
+                    );
                 }
                 last_per_slot.insert(key, v);
                 seen.push(v);

@@ -50,11 +50,13 @@ struct PlanInner {
 
 impl FaultPlan {
     pub fn new(profile: FaultProfile) -> FaultPlan {
+        // lint: allow(no-panic) — construction-time config validation; a
+        // malformed fault profile must fail fast when the plan is built.
         profile.validate().expect("invalid fault profile");
         FaultPlan {
             inner: Arc::new(PlanInner {
                 profile,
-                partitions: Mutex::new(HashSet::new()),
+                partitions: Mutex::named("faults.partitions", HashSet::new()),
                 dropped: Counter::new(),
                 duplicated: Counter::new(),
                 delayed: Counter::new(),
@@ -164,6 +166,8 @@ impl FaultInjector {
             std::thread::Builder::new()
                 .name(format!("faults-delay-{}", inner.local().raw()))
                 .spawn(move || delay_loop(out, rx))
+                // lint: allow(no-panic) — spawn failure while wiring the fault
+                // injector is fatal by design (test harness startup).
                 .expect("spawn fault delay thread");
             Some(tx)
         } else {
@@ -175,8 +179,8 @@ impl FaultInjector {
         FaultInjector {
             inner,
             plan,
-            rng: Mutex::new(rng),
-            delay_tx: Mutex::new(delay_tx),
+            rng: Mutex::named("faults.rng", rng),
+            delay_tx: Mutex::named("faults.delay_tx", delay_tx),
             seq: AtomicU64::new(0),
         }
     }
@@ -257,9 +261,10 @@ fn delay_loop(out: Arc<dyn Transport>, rx: Receiver<Held>) {
             Some(h) => {
                 let now = Instant::now();
                 if h.due <= now {
-                    let h = heap.pop().unwrap();
-                    // Peer may have died while the message was held.
-                    let _ = out.send(h.to, h.env);
+                    if let Some(h) = heap.pop() {
+                        // Peer may have died while the message was held.
+                        let _ = out.send(h.to, h.env);
+                    }
                     continue;
                 }
                 rx.recv_timeout(h.due - now)

@@ -82,9 +82,9 @@ pub struct InMemNetwork {
 impl InMemNetwork {
     pub fn new(model: NetworkModel) -> Self {
         let inner = Arc::new(NetInner {
-            nodes: RwLock::new(HashMap::new()),
+            nodes: RwLock::named("net.nodes", HashMap::new()),
             model,
-            delay_tx: Mutex::new(None),
+            delay_tx: Mutex::named("faults.delay_tx", None),
             seq: std::sync::atomic::AtomicU64::new(0),
         });
         if model.latency_ns > 0 {
@@ -94,6 +94,8 @@ impl InMemNetwork {
             std::thread::Builder::new()
                 .name("inmem-delay".into())
                 .spawn(move || delivery_loop(net, rx))
+                // lint: allow(no-panic) — spawn failure while assembling the
+                // in-memory fabric is fatal by design (test harness startup).
                 .expect("spawn delivery thread");
         }
         Self { inner }
@@ -141,8 +143,9 @@ fn delivery_loop(net: Arc<NetInner>, rx: Receiver<Delayed>) {
             Some(d) => {
                 let now = Instant::now();
                 if d.due <= now {
-                    let d = heap.pop().unwrap();
-                    deliver(&net, d.to, d.env);
+                    if let Some(d) = heap.pop() {
+                        deliver(&net, d.to, d.env);
+                    }
                     continue;
                 }
                 rx.recv_timeout(d.due - now)

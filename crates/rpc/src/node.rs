@@ -108,7 +108,7 @@ impl DedupCache {
 
     fn new() -> Self {
         Self {
-            state: Mutex::new(DedupState {
+            state: Mutex::named("rpc.dedup", DedupState {
                 inflight: std::collections::HashSet::new(),
                 completed: HashMap::new(),
                 order: VecDeque::new(),
@@ -207,11 +207,13 @@ impl NodeRuntime {
         retry: RetryPolicy,
     ) -> NodeRuntime {
         assert!(workers >= 1, "a node needs at least one worker");
+        // lint: allow(no-panic) — construction-time config validation;
+        // a malformed retry policy must fail fast at node startup.
         retry.validate().expect("invalid retry policy");
         let inner = Arc::new(NodeInner {
             id: transport.local(),
             transport,
-            pending: Mutex::new(HashMap::new()),
+            pending: Mutex::named("rpc.pending", HashMap::new()),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             retry,
@@ -232,6 +234,8 @@ impl NodeRuntime {
                 std::thread::Builder::new()
                     .name(format!("dispatch-{}", inner.id.raw()))
                     .spawn(move || dispatch_loop(inner, work_tx))
+                    // lint: allow(no-panic) — spawn failure at node startup is
+                    // fatal by design; the node never existed.
                     .expect("spawn dispatch"),
             );
         }
@@ -243,6 +247,8 @@ impl NodeRuntime {
                 std::thread::Builder::new()
                     .name(format!("worker-{}-{}", inner.id.raw(), w))
                     .spawn(move || worker_loop(inner, service, work_rx))
+                    // lint: allow(no-panic) — spawn failure at node startup is
+                    // fatal by design; the node never existed.
                     .expect("spawn worker"),
             );
         }

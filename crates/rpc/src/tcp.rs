@@ -33,9 +33,14 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::transport::Transport;
 
-#[derive(Default)]
 struct Directory {
     addrs: RwLock<HashMap<NodeId, SocketAddr>>,
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Directory { addrs: RwLock::named("net.addrs", HashMap::new()) }
+    }
 }
 
 /// A directory of TCP nodes.
@@ -83,17 +88,22 @@ impl TcpNetwork {
             let closed = Arc::clone(&closed);
             let accepted = Arc::clone(&accepted);
             let max_frame = self.max_frame_bytes;
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("tcp-accept-{}", id.raw()))
-                .spawn(move || accept_loop(listener, inbox_tx, closed, accepted, max_frame))
-                .expect("spawn tcp accept");
+                .spawn(move || accept_loop(listener, inbox_tx, closed, accepted, max_frame));
+            if let Err(e) = spawned {
+                // No accept loop means no reachable node: undo the
+                // directory entry so a retry can rebind, and report.
+                self.dir.addrs.write().remove(&id);
+                return Err(e.into());
+            }
         }
 
         Ok(TcpTransport {
             id,
             dir: Arc::clone(&self.dir),
             inbox_rx,
-            conns: Mutex::new(HashMap::new()),
+            conns: Mutex::named("transport.conns", HashMap::new()),
             addr,
             closed,
             accepted,
@@ -127,10 +137,12 @@ fn accept_loop(
                 }
                 let inbox = inbox.clone();
                 let closed = Arc::clone(&closed);
-                std::thread::Builder::new()
+                // A failed spawn (thread exhaustion) drops `stream`,
+                // closing the connection — the peer redials later. The
+                // accept loop itself must survive.
+                let _ = std::thread::Builder::new()
                     .name("tcp-reader".into())
-                    .spawn(move || reader_loop(stream, inbox, closed, max_frame))
-                    .expect("spawn tcp reader");
+                    .spawn(move || reader_loop(stream, inbox, closed, max_frame));
             }
             Err(_) => {
                 // Transient accept failures (EMFILE, ECONNABORTED, ...)
@@ -219,7 +231,7 @@ impl TcpTransport {
         match self.conns.lock().entry(to) {
             Entry::Occupied(e) => Ok(Arc::clone(e.get())), // lost the race; ours drops
             Entry::Vacant(v) => {
-                let conn = Arc::new(Mutex::new(stream));
+                let conn = Arc::new(Mutex::named("transport.conn", stream));
                 v.insert(Arc::clone(&conn));
                 Ok(conn)
             }

@@ -5,20 +5,58 @@
 //! does not poison for later callers), and [`Condvar`] operates on the
 //! crate's own [`MutexGuard`] so waits can hand the inner std guard back
 //! and forth.
+//!
+//! With the `deadlock-detect` feature enabled every lock additionally
+//! feeds a dynamic lock-order checker (see [`lockdep`]): acquisitions
+//! record edges into a global lock-order graph keyed by lock class, and
+//! a cycle, a re-acquisition on the same thread, or an edge that
+//! contradicts the hierarchy declared in `lint/lock-order.toml` panics
+//! with the names of both locks involved. Locks join a named class via
+//! [`Mutex::named`] / [`RwLock::named`]; plain `new` locks are checked
+//! per-instance. The feature is off by default and adds zero fields and
+//! zero work when disabled.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::time::Duration;
 
+#[cfg(feature = "deadlock-detect")]
+mod lockdep;
+
 /// A mutual-exclusion lock without poisoning.
-#[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "deadlock-detect")]
+    dep: lockdep::LockDep,
     inner: std::sync::Mutex<T>,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
 }
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            #[cfg(feature = "deadlock-detect")]
+            dep: lockdep::LockDep::new(None),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Like [`Mutex::new`], but tags the lock with a lock-class name
+    /// for `deadlock-detect` builds. Use the class names declared in
+    /// `lint/lock-order.toml` so the dynamic checker can enforce the
+    /// declared hierarchy; without the feature the name is discarded.
+    pub const fn named(name: &'static str, value: T) -> Mutex<T> {
+        #[cfg(not(feature = "deadlock-detect"))]
+        let _ = name;
+        Mutex {
+            #[cfg(feature = "deadlock-detect")]
+            dep: lockdep::LockDep::new(Some(name)),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -28,8 +66,31 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "deadlock-detect")]
+        let dep = self.dep.acquire(false);
         let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        MutexGuard { inner: Some(guard) }
+        MutexGuard {
+            #[cfg(feature = "deadlock-detect")]
+            dep,
+            inner: Some(guard),
+        }
+    }
+
+    /// Attempts the lock without blocking; `None` if it is already held
+    /// (including by the current thread). `deadlock-detect` builds record
+    /// the acquisition only on success — a failed try never blocks, so it
+    /// cannot contribute to a deadlock.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let guard = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            #[cfg(feature = "deadlock-detect")]
+            dep: self.dep.acquire(false),
+            inner: Some(guard),
+        })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -47,7 +108,16 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 /// so [`Condvar::wait`] can take it out and put the re-acquired one
 /// back; it is always `Some` outside of that exchange.
 pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "deadlock-detect")]
+    dep: lockdep::Acquired,
     inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+#[cfg(feature = "deadlock-detect")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.dep.release();
+    }
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -64,14 +134,37 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 }
 
 /// A reader-writer lock without poisoning.
-#[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "deadlock-detect")]
+    dep: lockdep::LockDep,
     inner: std::sync::RwLock<T>,
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
 }
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock { inner: std::sync::RwLock::new(value) }
+        RwLock {
+            #[cfg(feature = "deadlock-detect")]
+            dep: lockdep::LockDep::new(None),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Like [`RwLock::new`], but tags the lock with a lock-class name
+    /// for `deadlock-detect` builds (see [`Mutex::named`]).
+    pub const fn named(name: &'static str, value: T) -> RwLock<T> {
+        #[cfg(not(feature = "deadlock-detect"))]
+        let _ = name;
+        RwLock {
+            #[cfg(feature = "deadlock-detect")]
+            dep: lockdep::LockDep::new(Some(name)),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -80,12 +173,26 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
-    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "deadlock-detect")]
+        let dep = self.dep.acquire(true);
+        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        RwLockReadGuard {
+            #[cfg(feature = "deadlock-detect")]
+            dep,
+            inner: guard,
+        }
     }
 
-    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "deadlock-detect")]
+        let dep = self.dep.acquire(false);
+        let guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        RwLockWriteGuard {
+            #[cfg(feature = "deadlock-detect")]
+            dep,
+            inner: guard,
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -96,6 +203,54 @@ impl<T: ?Sized> RwLock<T> {
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("RwLock { .. }")
+    }
+}
+
+/// RAII shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "deadlock-detect")]
+    dep: lockdep::Acquired,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+#[cfg(feature = "deadlock-detect")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.dep.release();
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// RAII exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "deadlock-detect")]
+    dep: lockdep::Acquired,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+#[cfg(feature = "deadlock-detect")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.dep.release();
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
     }
 }
 
@@ -126,7 +281,11 @@ impl Condvar {
     /// notification; the lock is re-acquired before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("guard taken during condvar wait");
+        #[cfg(feature = "deadlock-detect")]
+        guard.dep.release();
         let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "deadlock-detect")]
+        guard.dep.reacquire();
         guard.inner = Some(inner);
     }
 
@@ -137,10 +296,14 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let inner = guard.inner.take().expect("guard taken during condvar wait");
+        #[cfg(feature = "deadlock-detect")]
+        guard.dep.release();
         let (inner, result) = self
             .inner
             .wait_timeout(inner, timeout)
             .unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "deadlock-detect")]
+        guard.dep.reacquire();
         guard.inner = Some(inner);
         WaitTimeoutResult { timed_out: result.timed_out() }
     }
@@ -166,6 +329,20 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_contended_and_free() {
+        let m = Mutex::new(3);
+        {
+            let g = m.lock();
+            assert!(m.try_lock().is_none(), "held lock must not be re-entered");
+            drop(g);
+        }
+        let mut g = m.try_lock().expect("free lock");
+        *g += 1;
+        drop(g);
+        assert_eq!(*m.lock(), 4);
     }
 
     #[test]
@@ -216,5 +393,119 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 0);
+    }
+}
+
+#[cfg(all(test, feature = "deadlock-detect"))]
+mod lockdep_tests {
+    use super::*;
+
+    fn panic_message(r: std::thread::Result<()>) -> String {
+        match r {
+            Ok(()) => panic!("expected the thread to panic"),
+            Err(e) => {
+                if let Some(s) = e.downcast_ref::<String>() {
+                    s.clone()
+                } else if let Some(s) = e.downcast_ref::<&'static str>() {
+                    (*s).to_string()
+                } else {
+                    String::from("<non-string panic payload>")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverted_acquisition_is_detected() {
+        let msg = panic_message(
+            std::thread::spawn(|| {
+                let a = Mutex::named("lockdep-test.alpha", 0u32);
+                let b = Mutex::named("lockdep-test.beta", 0u32);
+                {
+                    let _ga = a.lock();
+                    let _gb = b.lock(); // records alpha -> beta
+                }
+                let _gb = b.lock();
+                let _ga = a.lock(); // beta -> alpha closes the cycle
+            })
+            .join(),
+        );
+        assert!(msg.contains("lockdep-test.alpha"), "message: {msg}");
+        assert!(msg.contains("lockdep-test.beta"), "message: {msg}");
+    }
+
+    #[test]
+    fn declared_hierarchy_violation_is_detected() {
+        // lint/lock-order.toml declares streamlet.slot before vlog.state,
+        // so taking a slot while holding vlog state must be rejected even
+        // on the first (cycle-free) occurrence.
+        let msg = panic_message(
+            std::thread::spawn(|| {
+                let state = Mutex::named("vlog.state", ());
+                let slot = Mutex::named("streamlet.slot", ());
+                let _gs = state.lock();
+                let _gv = slot.lock();
+            })
+            .join(),
+        );
+        assert!(msg.contains("vlog.state"), "message: {msg}");
+        assert!(msg.contains("streamlet.slot"), "message: {msg}");
+    }
+
+    #[test]
+    fn recursive_acquisition_is_detected() {
+        let msg = panic_message(
+            std::thread::spawn(|| {
+                let m = Mutex::named("lockdep-test.recursive", ());
+                let _g1 = m.lock();
+                let _g2 = m.lock();
+            })
+            .join(),
+        );
+        assert!(msg.contains("recursive"), "message: {msg}");
+        assert!(msg.contains("lockdep-test.recursive"), "message: {msg}");
+    }
+
+    #[test]
+    fn consistent_order_is_quiet() {
+        let a = Mutex::named("lockdep-test.outer", ());
+        let b = Mutex::named("lockdep-test.inner", ());
+        for _ in 0..2 {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+    }
+
+    #[test]
+    fn shared_reads_of_one_rwlock_are_allowed() {
+        let l = RwLock::named("lockdep-test.shared", 7);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!(*r1 + *r2, 14);
+    }
+
+    #[test]
+    fn condvar_wait_releases_and_reacquires_tracking() {
+        // While a thread is parked in wait() the lock must not count as
+        // held: the notifier takes it, flips the flag, and notifies.
+        let shared = std::sync::Arc::new((
+            Mutex::named("lockdep-test.cv", false),
+            Condvar::new(),
+        ));
+        let s2 = std::sync::Arc::clone(&shared);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*shared;
+        let mut g = m.lock();
+        while !*g {
+            cv.wait(&mut g);
+        }
+        drop(g);
+        t.join().unwrap();
+        // The guard is gone; a fresh acquisition must succeed.
+        let _g = m.lock();
     }
 }

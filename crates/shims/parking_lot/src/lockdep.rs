@@ -1,0 +1,323 @@
+//! Dynamic lock-order checking ("lockdep"), compiled only under the
+//! `deadlock-detect` feature.
+//!
+//! Every shimmed [`Mutex`](crate::Mutex) / [`RwLock`](crate::RwLock)
+//! carries a [`LockDep`] identity: an optional lock-class *name* (set
+//! via the `named` constructors, matching the classes declared in
+//! `lint/lock-order.toml`) and a lazily-assigned instance id. On each
+//! acquisition the checker, *before* blocking on the real lock:
+//!
+//! 1. rejects re-acquisition of a lock already held by this thread
+//!    (guaranteed self-deadlock with `std::sync` primitives),
+//! 2. rejects acquisitions that contradict the declared hierarchy in
+//!    `lint/lock-order.toml` (found by walking up from the current
+//!    directory),
+//! 3. rejects acquisitions that would close a cycle in the global
+//!    graph of observed acquisition edges — i.e. a potential deadlock
+//!    even if this particular run would have survived it.
+//!
+//! All rejections panic with the names of **both** locks involved so
+//! the report is actionable without a debugger.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// Identity attached to every shimmed lock.
+pub(crate) struct LockDep {
+    name: Option<&'static str>,
+    /// Lazily-assigned instance id (0 = unassigned).
+    id: AtomicU32,
+}
+
+impl LockDep {
+    pub(crate) const fn new(name: Option<&'static str>) -> LockDep {
+        LockDep { name, id: AtomicU32::new(0) }
+    }
+
+    fn instance(&self) -> u32 {
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        static NEXT: AtomicU32 = AtomicU32::new(1);
+        let fresh = NEXT.fetch_add(1, Ordering::Relaxed);
+        match self.id.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => fresh,
+            Err(current) => current,
+        }
+    }
+
+    /// Runs every lockdep check and records the acquisition. Called
+    /// before blocking on the real lock so violations panic instead of
+    /// deadlocking.
+    pub(crate) fn acquire(&self, shared: bool) -> Acquired {
+        let instance = self.instance();
+        on_acquire(self.name, instance, shared);
+        Acquired { name: self.name, instance, shared }
+    }
+}
+
+/// Token stored in a guard; removes the held-set entry on drop (via the
+/// guard's `Drop`) and supports condvar release/reacquire round-trips.
+#[derive(Clone, Copy)]
+pub(crate) struct Acquired {
+    name: Option<&'static str>,
+    instance: u32,
+    shared: bool,
+}
+
+impl Acquired {
+    pub(crate) fn release(&self) {
+        on_release(self.instance);
+    }
+
+    pub(crate) fn reacquire(&self) {
+        on_acquire(self.name, self.instance, self.shared);
+    }
+}
+
+/// Lock classes: named locks share a class per name (so ordering is
+/// checked across all instances, e.g. every `streamlet.slot`); unnamed
+/// locks each get their own class keyed by instance id.
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+enum ClassKey {
+    Named(&'static str),
+    Anon(u32),
+}
+
+#[derive(Clone, Copy)]
+struct HeldLock {
+    class: usize,
+    instance: u32,
+    name: Option<&'static str>,
+    shared: bool,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<HeldLock>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Default)]
+struct Registry {
+    ids: HashMap<ClassKey, usize>,
+    labels: Vec<String>,
+    /// Observed acquisition edges: `edges[a]` holds classes acquired
+    /// while `a` was held.
+    edges: HashMap<usize, Vec<usize>>,
+}
+
+impl Registry {
+    fn class(&mut self, key: ClassKey) -> usize {
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.labels.len();
+        self.labels.push(match key {
+            ClassKey::Named(n) => n.to_string(),
+            ClassKey::Anon(i) => format!("<unnamed lock #{i}>"),
+        });
+        self.ids.insert(key, id);
+        id
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize) {
+        let outs = self.edges.entry(from).or_default();
+        if !outs.contains(&to) {
+            outs.push(to);
+        }
+    }
+
+    /// Is `to` reachable from `from` via observed acquisition edges?
+    fn reaches(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut visited = vec![false; self.labels.len()];
+        let mut stack = vec![from];
+        while let Some(node) = stack.pop() {
+            if node == to {
+                return true;
+            }
+            if std::mem::replace(&mut visited[node], true) {
+                continue;
+            }
+            if let Some(outs) = self.edges.get(&node) {
+                stack.extend(outs.iter().copied());
+            }
+        }
+        false
+    }
+}
+
+fn registry() -> &'static StdMutex<Registry> {
+    static REGISTRY: OnceLock<StdMutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(Default::default)
+}
+
+/// Rank of a named class in the `[hierarchy] order` list of
+/// `lint/lock-order.toml`, or `None` when the class is undeclared (or
+/// the file was not found — cycle detection still applies then).
+fn declared_rank(name: &str) -> Option<usize> {
+    static DECLARED: OnceLock<HashMap<String, usize>> = OnceLock::new();
+    DECLARED.get_or_init(load_declared_order).get(name).copied()
+}
+
+fn load_declared_order() -> HashMap<String, usize> {
+    let mut dir = std::env::current_dir().ok();
+    while let Some(d) = dir {
+        let candidate = d.join("lint").join("lock-order.toml");
+        if let Ok(text) = std::fs::read_to_string(&candidate) {
+            return parse_order(&text);
+        }
+        dir = d.parent().map(PathBuf::from);
+    }
+    HashMap::new()
+}
+
+/// Minimal extraction of the `[hierarchy] order = [...]` string array.
+/// Class names contain no `#` or escapes, so comment stripping and
+/// plain quote scanning suffice.
+fn parse_order(text: &str) -> HashMap<String, usize> {
+    let mut out = HashMap::new();
+    let mut in_hierarchy = false;
+    let mut in_order = false;
+    let mut rank = 0usize;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_hierarchy = line == "[hierarchy]";
+            in_order = false;
+            continue;
+        }
+        if !in_hierarchy {
+            continue;
+        }
+        let rest = if let Some(idx) = line.find('=') {
+            in_order = line[..idx].trim() == "order";
+            &line[idx + 1..]
+        } else {
+            line
+        };
+        if !in_order {
+            continue;
+        }
+        let mut chars = rest.chars();
+        while chars.by_ref().any(|c| c == '"') {
+            let name: String = chars.by_ref().take_while(|&c| c != '"').collect();
+            out.insert(name, rank);
+            rank += 1;
+        }
+        if rest.contains(']') {
+            in_order = false;
+        }
+    }
+    out
+}
+
+fn label_of(name: Option<&'static str>, instance: u32) -> String {
+    match name {
+        Some(n) => format!("\"{n}\""),
+        None => format!("<unnamed lock #{instance}>"),
+    }
+}
+
+fn on_acquire(name: Option<&'static str>, instance: u32, shared: bool) {
+    let held_snapshot: Vec<HeldLock> = HELD.with(|h| h.borrow().clone());
+    if held_snapshot
+        .iter()
+        .any(|h| h.instance == instance && !(h.shared && shared))
+    {
+        panic!(
+            "lockdep: recursive acquisition of {} on one thread would deadlock",
+            label_of(name, instance)
+        );
+    }
+    let key = match name {
+        Some(n) => ClassKey::Named(n),
+        None => ClassKey::Anon(instance),
+    };
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let class = reg.class(key);
+    for h in &held_snapshot {
+        if h.class == class {
+            if h.instance == instance {
+                continue; // shared re-read of the same RwLock
+            }
+            panic!(
+                "lockdep: nested acquisition of two \"{}\" locks on one thread; \
+                 same-class nesting has no defined order and can deadlock",
+                reg.labels[class]
+            );
+        }
+        if let (Some(new_name), Some(held_name)) = (name, h.name) {
+            if let (Some(rn), Some(rh)) = (declared_rank(new_name), declared_rank(held_name)) {
+                if rn < rh {
+                    panic!(
+                        "lockdep: lock order violation: acquiring \"{new_name}\" while \
+                         holding \"{held_name}\", but lint/lock-order.toml declares \
+                         \"{new_name}\" before \"{held_name}\""
+                    );
+                }
+            }
+        }
+        if reg.reaches(class, h.class) {
+            panic!(
+                "lockdep: lock-order cycle: acquiring {new} while holding {held} \
+                 contradicts the previously observed order {new} -> {held}",
+                new = format_args!("\"{}\"", reg.labels[class]),
+                held = format_args!("\"{}\"", reg.labels[h.class]),
+            );
+        }
+        reg.add_edge(h.class, class);
+    }
+    drop(reg);
+    HELD.with(|h| h.borrow_mut().push(HeldLock { class, instance, name, shared }));
+}
+
+fn on_release(instance: u32) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|l| l.instance == instance) {
+            held.remove(pos);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_order;
+
+    #[test]
+    fn parses_multi_line_order_array() {
+        let toml = r#"
+# comment
+[hierarchy]
+order = [
+    "a.first", # trailing comment
+    "b.second",
+    "c.third",
+]
+
+[rules]
+other = ["x"]
+"#;
+        let ranks = parse_order(toml);
+        assert_eq!(ranks.get("a.first"), Some(&0));
+        assert_eq!(ranks.get("b.second"), Some(&1));
+        assert_eq!(ranks.get("c.third"), Some(&2));
+        assert_eq!(ranks.get("x"), None);
+    }
+
+    #[test]
+    fn parses_single_line_order_array() {
+        let ranks = parse_order("[hierarchy]\norder = [\"p\", \"q\"]\n");
+        assert_eq!(ranks.get("p"), Some(&0));
+        assert_eq!(ranks.get("q"), Some(&1));
+    }
+}

@@ -57,6 +57,8 @@ impl DiskFlusher {
             std::thread::Builder::new()
                 .name("disk-flusher".into())
                 .spawn(move || flush_loop(dir, rx, shared))
+                // lint: allow(no-panic) — spawn failure at flusher startup is
+                // fatal by design: there is no runtime to degrade into yet.
                 .expect("spawn flusher")
         };
         Ok(DiskFlusher { tx, shared, thread: Some(thread), dir })

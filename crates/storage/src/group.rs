@@ -42,7 +42,7 @@ impl Group {
             gref,
             segment_size,
             max_segments,
-            segments: RwLock::new(vec![first]),
+            segments: RwLock::named("group.segments", vec![first]),
             closed: AtomicBool::new(false),
         }
     }
@@ -69,6 +69,8 @@ impl Group {
 
     /// The currently open (last) segment.
     pub fn open_segment(&self) -> Arc<Segment> {
+        // lint: allow(no-panic) — a group is constructed with one segment and
+        // segments are never removed, so `last()` cannot be empty.
         self.segments.read().last().cloned().expect("group always has a segment")
     }
 
@@ -86,7 +88,10 @@ impl Group {
         loop {
             let (segment, index) = {
                 let guard = self.segments.read();
-                (Arc::clone(guard.last().unwrap()), guard.len() as u32 - 1)
+                let Some(last) = guard.last() else {
+                    return None; // unreachable: a group always has >= 1 segment
+                };
+                (Arc::clone(last), guard.len() as u32 - 1)
             };
             if let Some(at) = segment.append_chunk(chunk, base_offset) {
                 return Some(GroupAppend { segment, segment_index: index, at });

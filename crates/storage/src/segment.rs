@@ -148,11 +148,12 @@ impl Segment {
         let window = self.buf.read(offset, durable - offset);
         let mut end = 0usize;
         while end + CHUNK_HEADER <= window.len() {
-            let chunk_len = u32::from_le_bytes(
-                window[end + chunk::field::CHUNK_LEN..end + chunk::field::CHUNK_LEN + 4]
-                    .try_into()
-                    .unwrap(),
-            ) as usize;
+            // In bounds: the loop condition keeps end + CHUNK_HEADER
+            // within the window and CHUNK_LEN + 4 <= CHUNK_HEADER.
+            let p = end + chunk::field::CHUNK_LEN;
+            let chunk_len =
+                u32::from_le_bytes([window[p], window[p + 1], window[p + 2], window[p + 3]])
+                    as usize;
             debug_assert!(chunk_len >= CHUNK_HEADER, "corrupt chunk length in segment");
             if end + chunk_len > window.len() {
                 break; // partially durable chunk cannot happen, but be safe

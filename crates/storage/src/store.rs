@@ -22,7 +22,7 @@ pub struct HostedStream {
 
 impl HostedStream {
     pub fn new(metadata: StreamMetadata) -> Self {
-        Self { metadata, streamlets: RwLock::new(HashMap::new()) }
+        Self { metadata, streamlets: RwLock::named("store.streamlets", HashMap::new()) }
     }
 
     pub fn config(&self) -> &StreamConfig {
@@ -50,14 +50,19 @@ impl HostedStream {
 }
 
 /// All streams hosted on one broker.
-#[derive(Default)]
 pub struct StreamStore {
     streams: RwLock<HashMap<StreamId, Arc<HostedStream>>>,
 }
 
+impl Default for StreamStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl StreamStore {
     pub fn new() -> Self {
-        Self::default()
+        Self { streams: RwLock::named("store.streams", HashMap::new()) }
     }
 
     /// Registers a stream on this broker and hosts the given streamlets.

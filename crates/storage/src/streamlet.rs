@@ -51,6 +51,48 @@ impl StreamletAppend {
     }
 }
 
+/// Outcome of a tracked (retry-safe) append.
+#[derive(Clone, Debug)]
+pub enum SlotAppend {
+    /// The chunk was physically appended now.
+    Fresh { append: StreamletAppend, token: Option<u64> },
+    /// The chunk's sequence tag matched an earlier append from the same
+    /// producer — a retried produce request whose response was lost. The
+    /// original ack (and durability token) is replayed; nothing is
+    /// appended.
+    Replay { ack: ChunkAck, token: Option<u64> },
+}
+
+/// Recent (producer, sequence-tag) → ack mappings of one slot, so a
+/// retried produce request replays the original ack instead of appending
+/// a second copy of the chunk. Bounded FIFO per slot.
+#[derive(Default)]
+struct ReplayCache {
+    acks: HashMap<(ProducerId, u64), (ChunkAck, Option<u64>)>,
+    order: std::collections::VecDeque<(ProducerId, u64)>,
+}
+
+impl ReplayCache {
+    /// Plenty for the handful of in-flight requests a producer pipelines;
+    /// a retry always lands well within this window.
+    const MAX_ENTRIES: usize = 1024;
+
+    fn get(&self, producer: ProducerId, seq: u64) -> Option<(ChunkAck, Option<u64>)> {
+        self.acks.get(&(producer, seq)).copied()
+    }
+
+    fn insert(&mut self, producer: ProducerId, seq: u64, ack: ChunkAck, token: Option<u64>) {
+        if self.acks.insert((producer, seq), (ack, token)).is_none() {
+            self.order.push_back((producer, seq));
+            while self.order.len() > Self::MAX_ENTRIES {
+                if let Some(old) = self.order.pop_front() {
+                    self.acks.remove(&old);
+                }
+            }
+        }
+    }
+}
+
 struct Slot {
     /// Chain index of the active group.
     chain: u32,
@@ -60,6 +102,8 @@ struct Slot {
     next_offset: u64,
     /// Per-chunk offset index (seek by record offset).
     index: OffsetIndex,
+    /// Duplicate suppression for retried produce requests.
+    replays: ReplayCache,
 }
 
 /// One hosted streamlet.
@@ -85,7 +129,16 @@ impl Streamlet {
                 let group =
                     Arc::new(Group::new(gref, config.segment_size, config.segments_per_group));
                 groups.insert(gid, Arc::clone(&group));
-                Mutex::new(Slot { chain: 0, group, next_offset: 0, index: OffsetIndex::new() })
+                Mutex::named(
+                    "streamlet.slot",
+                    Slot {
+                        chain: 0,
+                        group,
+                        next_offset: 0,
+                        index: OffsetIndex::new(),
+                        replays: ReplayCache::default(),
+                    },
+                )
             })
             .collect();
         Self {
@@ -95,7 +148,7 @@ impl Streamlet {
             segment_size: config.segment_size,
             segments_per_group: config.segments_per_group,
             slots,
-            groups: RwLock::new(groups),
+            groups: RwLock::named("streamlet.groups", groups),
         }
     }
 
@@ -129,7 +182,14 @@ impl Streamlet {
         chunk: &[u8],
         records: u32,
     ) -> Result<StreamletAppend> {
-        self.append_chunk_and_then(producer, chunk, records, |_| ()).map(|(a, ())| a)
+        match self.append_chunk_tracked(producer, chunk, records, None, |_| Ok(None))? {
+            SlotAppend::Fresh { append, .. } => Ok(append),
+            // Unreachable without a sequence tag, but keep the contract
+            // total rather than panicking.
+            SlotAppend::Replay { .. } => Err(KeraError::Protocol(
+                "untracked append reported a replay".into(),
+            )),
+        }
     }
 
     /// Appends a chunk and runs `after` **while still holding the slot
@@ -141,19 +201,33 @@ impl Streamlet {
     /// replication acks arrive (paper §IV-B: "the chunk is appended to the
     /// active group ... and then a chunk reference is appended to the
     /// replicated virtual log").
-    pub fn append_chunk_and_then<R>(
+    ///
+    /// `after` returns an opaque durability token (the broker passes the
+    /// virtual-log ticket). When `seq` is given, the slot remembers
+    /// (producer, seq) → (ack, token); a later append carrying the same
+    /// tag is recognized as a retried request and answered with
+    /// [`SlotAppend::Replay`] — the original ack — instead of a duplicate
+    /// physical append. This is the exactly-once half the producer's
+    /// blind retransmit relies on.
+    pub fn append_chunk_tracked(
         &self,
         producer: ProducerId,
         chunk: &[u8],
         records: u32,
-        after: impl FnOnce(&StreamletAppend) -> R,
-    ) -> Result<(StreamletAppend, R)> {
+        seq: Option<u64>,
+        after: impl FnOnce(&StreamletAppend) -> Result<Option<u64>>,
+    ) -> Result<SlotAppend> {
         if chunk.len() > self.segment_size {
             return Err(KeraError::ChunkTooLarge { chunk: chunk.len(), segment: self.segment_size });
         }
         debug_assert!(chunk.len() >= CHUNK_HEADER);
         let slot_idx = self.slot_of(producer);
         let mut slot = self.slots[slot_idx as usize].lock();
+        if let Some(seq) = seq {
+            if let Some((ack, token)) = slot.replays.get(producer, seq) {
+                return Ok(SlotAppend::Replay { ack, token });
+            }
+        }
         let base_offset = slot.next_offset;
         loop {
             if let Some(ga) = slot.group.append_chunk(chunk, base_offset) {
@@ -175,8 +249,11 @@ impl Streamlet {
                     segment: ga.segment_index,
                     byte_offset: ga.at.offset,
                 });
-                let r = after(&append);
-                return Ok((append, r));
+                let token = after(&append)?;
+                if let Some(seq) = seq {
+                    slot.replays.insert(producer, seq, append.to_ack(), token);
+                }
+                return Ok(SlotAppend::Fresh { append, token });
             }
             // Group closed: open the next group in this slot's chain.
             let chain = slot.chain + 1;
@@ -428,6 +505,83 @@ mod tests {
         a.segment.make_all_durable();
         let (data, _) = s.read_slot(0, SlotCursor::START, usize::MAX);
         assert_eq!(data.len(), c.len());
+    }
+
+    #[test]
+    fn tagged_retry_replays_original_ack() {
+        let s = Streamlet::new(StreamId(1), StreamletId(0), &config(1, 1 << 20, 4));
+        let c = chunk(5);
+        let first = s
+            .append_chunk_tracked(ProducerId(0), &c, 5, Some(42), |_| Ok(Some(7)))
+            .unwrap();
+        let SlotAppend::Fresh { append, token } = first else {
+            panic!("first append must be fresh")
+        };
+        assert_eq!(token, Some(7));
+        // Same tag again — the retried request. No second copy; the
+        // original ack and durability token come back.
+        let retry = s
+            .append_chunk_tracked(ProducerId(0), &c, 5, Some(42), |_| {
+                panic!("a replayed chunk must not re-append")
+            })
+            .unwrap();
+        let SlotAppend::Replay { ack, token } = retry else {
+            panic!("retry must be recognized as a replay")
+        };
+        assert_eq!(ack, append.to_ack());
+        assert_eq!(token, Some(7));
+        // Exactly one physical copy exists.
+        assert_eq!(s.group(GroupId(0)).unwrap().total_bytes(), c.len());
+        // A different tag is fresh and lands after the first chunk.
+        let next = s
+            .append_chunk_tracked(ProducerId(0), &c, 5, Some(43), |_| Ok(None))
+            .unwrap();
+        let SlotAppend::Fresh { append: a2, .. } = next else {
+            panic!("new tag must append")
+        };
+        assert_eq!(a2.base_offset, 5);
+    }
+
+    #[test]
+    fn replay_cache_is_per_producer() {
+        // Producers 0 and 2 share slot 0 of a Q=2 streamlet; the same tag
+        // value from different producers must not collide.
+        let s = Streamlet::new(StreamId(1), StreamletId(0), &config(2, 1 << 20, 4));
+        let c = chunk(1);
+        let a = s.append_chunk_tracked(ProducerId(0), &c, 1, Some(9), |_| Ok(None)).unwrap();
+        assert!(matches!(a, SlotAppend::Fresh { .. }));
+        let b = s.append_chunk_tracked(ProducerId(2), &c, 1, Some(9), |_| Ok(None)).unwrap();
+        assert!(matches!(b, SlotAppend::Fresh { .. }), "same tag, other producer: fresh");
+    }
+
+    #[test]
+    fn untagged_appends_never_dedup() {
+        let s = Streamlet::new(StreamId(1), StreamletId(0), &config(1, 1 << 20, 4));
+        let c = chunk(1);
+        // The storage-level API without tags keeps append-always semantics
+        // (recovery replays identical bytes legitimately).
+        let a0 = s.append_chunk(ProducerId(0), &c, 1).unwrap();
+        let a1 = s.append_chunk(ProducerId(0), &c, 1).unwrap();
+        assert_eq!(a0.base_offset, 0);
+        assert_eq!(a1.base_offset, 1);
+    }
+
+    #[test]
+    fn replay_cache_evicts_oldest() {
+        let s = Streamlet::new(StreamId(1), StreamletId(0), &config(1, 1 << 24, 64));
+        let c = chunk(1);
+        let n = super::ReplayCache::MAX_ENTRIES as u64 + 8;
+        for seq in 0..n {
+            s.append_chunk_tracked(ProducerId(0), &c, 1, Some(seq), |_| Ok(None)).unwrap();
+        }
+        // Tag 0 fell out of the window: the retry re-appends (duplicate),
+        // which is the documented bound of the cache.
+        let old = s.append_chunk_tracked(ProducerId(0), &c, 1, Some(0), |_| Ok(None)).unwrap();
+        assert!(matches!(old, SlotAppend::Fresh { .. }));
+        // A recent tag is still replayed.
+        let recent =
+            s.append_chunk_tracked(ProducerId(0), &c, 1, Some(n - 1), |_| Ok(None)).unwrap();
+        assert!(matches!(recent, SlotAppend::Replay { .. }));
     }
 
     #[test]

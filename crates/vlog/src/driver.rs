@@ -49,6 +49,8 @@ impl ReplicationDriver {
                 std::thread::Builder::new()
                     .name(format!("repl-driver-{i}"))
                     .spawn(move || run(channel, rx, tx, shutdown))
+                    // lint: allow(no-panic) — spawn failure at driver startup
+                    // is fatal by design; no broker can run without it.
                     .expect("spawn replication driver"),
             );
         }

@@ -60,7 +60,7 @@ impl VirtualLogSet {
             colocated_backup,
             cluster_backups,
             selection,
-            logs: RwLock::new(HashMap::new()),
+            logs: RwLock::named("vlogset.logs", HashMap::new()),
             next_id: AtomicU64::new(0),
         }
     }

@@ -5,7 +5,7 @@
 //!
 //! Producers' worker threads call [`VirtualLog::append`] (under the slot
 //! lock of the physical append — see
-//! `kera_storage::streamlet::Streamlet::append_chunk_and_then`) and then
+//! `kera_storage::streamlet::Streamlet::append_chunk_tracked`) and then
 //! [`VirtualLog::sync`] with the returned ticket. `sync` implements group
 //! commit: exactly one thread at a time becomes the *replicator*, ships
 //! **every** pending chunk reference — across all waiting producers and
@@ -119,7 +119,7 @@ impl VirtualLog {
             owner,
             vseg_capacity,
             copies,
-            state: Mutex::new(state),
+            state: Mutex::named("vlog.state", state),
             cv: Condvar::new(),
             queued: std::sync::atomic::AtomicBool::new(false),
             batches_sent: Counter::new(),
@@ -167,18 +167,29 @@ impl VirtualLog {
         if st.poisoned {
             return Err(KeraError::NoCapacity(format!("virtual log {} is poisoned", self.id)));
         }
-        if !st.segs.back().expect("log always has an open vseg").vseg.fits(len) {
+        // A log is constructed with one open vseg; treat an (impossible)
+        // empty deque as needing a roll rather than panicking mid-append.
+        let needs_roll = st.segs.back().is_none_or(|e| !e.vseg.fits(len));
+        if needs_roll {
             let backups = st.selector.select(self.copies)?;
             let id = VirtualSegmentId(st.next_vseg_id);
             st.next_vseg_id += 1;
-            st.segs.back_mut().unwrap().vseg.seal();
+            if let Some(open) = st.segs.back_mut() {
+                open.vseg.seal();
+            }
             let base = st.appended;
             st.segs.push_back(VsegEntry {
                 vseg: VirtualSegment::new(id, self.vseg_capacity, backups),
                 base,
             });
         }
-        let entry = st.segs.back_mut().unwrap();
+        let Some(entry) = st.segs.back_mut() else {
+            // Unreachable: the roll above pushed an open vseg.
+            return Err(KeraError::NoCapacity(format!(
+                "virtual log {} has no open segment",
+                self.id
+            )));
+        };
         entry.vseg.append(r);
         st.appended += len as u64;
         Ok(st.appended)
@@ -417,32 +428,26 @@ impl VirtualLog {
     fn handle_backup_failure(&self, st: &mut LogState, dead: NodeId) {
         st.selector.remove(dead);
         let copies = self.copies;
-        let mut poisoned = false;
         // Preserve `segs` intact; only rewrite backup sets that include
-        // the dead node and rewind their replication progress.
-        let mut new_sets: Vec<(VirtualSegmentId, Option<Vec<NodeId>>)> = Vec::new();
-        for e in st.segs.iter() {
-            if e.vseg.backups().contains(&dead) {
-                new_sets.push((e.vseg.id(), None));
-            }
-        }
-        for (id, slot) in new_sets.iter_mut() {
-            match st.selector.select(copies) {
-                Ok(set) => *slot = Some(set),
+        // the dead node and rewind their replication progress. If the
+        // selector runs out of backups mid-way the log is poisoned, so
+        // partially rewritten sets are harmless — every waiter fails.
+        let affected: Vec<VirtualSegmentId> = st
+            .segs
+            .iter()
+            .filter(|e| e.vseg.backups().contains(&dead))
+            .map(|e| e.vseg.id())
+            .collect();
+        for id in affected {
+            let set = match st.selector.select(copies) {
+                Ok(set) => set,
                 Err(_) => {
-                    poisoned = true;
-                    let _ = id;
-                    break;
+                    st.poisoned = true;
+                    return;
                 }
-            }
-        }
-        if poisoned {
-            st.poisoned = true;
-            return;
-        }
-        for (id, set) in new_sets {
+            };
             if let Some(entry) = st.segs.iter_mut().find(|e| e.vseg.id() == id) {
-                entry.vseg.reset_replication(set.expect("checked above"));
+                entry.vseg.reset_replication(set);
             }
         }
         Self::recompute_durable(st);

@@ -11,7 +11,8 @@
 //!
 //! ```text
 //! +0   magic        u16  0x4B43 ("KC")
-//! +2   flags        u16  reserved, zero
+//! +2   flags        u16  bit 0: base_offset carries a producer sequence
+//!                        tag (cleared at assignment); rest reserved
 //! +4   chunk_len    u32  total length, header included
 //! +8   checksum     u32  CRC32C over the record payload [48 .. chunk_len)
 //! +12  producer     u32
@@ -43,9 +44,17 @@ pub const CHUNK_MAGIC: u16 = 0x4B43;
 /// Sentinel for group/segment fields before broker assignment.
 pub const UNASSIGNED: u32 = u32::MAX;
 
+/// Flag bit: until broker assignment, `base_offset` carries a
+/// producer-assigned sequence tag. Brokers use it to recognize a
+/// retransmitted chunk and replay the original ack instead of appending
+/// a second copy. Cleared by [`assign_in_place`], which overwrites the
+/// field the flag refers to.
+pub const FLAG_SEQ_TAGGED: u16 = 0x0001;
+
 /// Byte offsets of the patchable header fields (used by the broker append
 /// path and by recovery).
 pub mod field {
+    pub const FLAGS: usize = 2;
     pub const CHUNK_LEN: usize = 4;
     pub const GROUP: usize = 24;
     pub const SEGMENT: usize = 28;
@@ -55,6 +64,7 @@ pub mod field {
 /// Parsed chunk header.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ChunkHeader {
+    pub flags: u16,
     pub chunk_len: u32,
     pub checksum: u32,
     pub producer: ProducerId,
@@ -76,12 +86,16 @@ impl ChunkHeader {
         if magic != CHUNK_MAGIC {
             return Err(KeraError::Protocol(format!("bad chunk magic {magic:#06x}")));
         }
-        let u32_at = |off: usize| u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+        // Offsets are all below CHUNK_HEADER, which the length check
+        // above guarantees is in bounds.
+        let u32_at =
+            |off: usize| u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]);
         let chunk_len = u32_at(field::CHUNK_LEN);
         if (chunk_len as usize) < CHUNK_HEADER {
             return Err(KeraError::Protocol(format!("chunk_len {chunk_len} below header size")));
         }
         Ok(ChunkHeader {
+            flags: u16::from_le_bytes([buf[field::FLAGS], buf[field::FLAGS + 1]]),
             chunk_len,
             checksum: u32_at(8),
             producer: ProducerId(u32_at(12)),
@@ -89,7 +103,9 @@ impl ChunkHeader {
             streamlet: StreamletId(u32_at(20)),
             group: u32_at(field::GROUP),
             segment: u32_at(field::SEGMENT),
-            base_offset: u64::from_le_bytes(buf[32..40].try_into().unwrap()),
+            base_offset: u64::from_le_bytes([
+                buf[32], buf[33], buf[34], buf[35], buf[36], buf[37], buf[38], buf[39],
+            ]),
             record_count: u32_at(40),
         })
     }
@@ -97,6 +113,14 @@ impl ChunkHeader {
     #[inline]
     pub fn is_assigned(&self) -> bool {
         self.group != UNASSIGNED && self.segment != UNASSIGNED
+    }
+
+    /// The producer-assigned sequence tag, if the chunk carries one (only
+    /// unassigned chunks do; assignment overwrites the field and clears
+    /// the flag).
+    #[inline]
+    pub fn sequence_tag(&self) -> Option<u64> {
+        (self.flags & FLAG_SEQ_TAGGED != 0).then_some(self.base_offset)
     }
 
     #[inline]
@@ -229,6 +253,17 @@ impl ChunkBuilder {
         self.buf[8..12].copy_from_slice(&crc.to_le_bytes());
         Bytes::copy_from_slice(&self.buf)
     }
+
+    /// Seals the chunk with a producer-assigned sequence tag stashed in
+    /// the (still unassigned) `base_offset` field. The broker uses the tag
+    /// to suppress duplicate appends when a produce request is retried.
+    pub fn seal_with_sequence(&mut self, seq: u64) -> Bytes {
+        let flags = u16::from_le_bytes([self.buf[field::FLAGS], self.buf[field::FLAGS + 1]])
+            | FLAG_SEQ_TAGGED;
+        self.buf[field::FLAGS..field::FLAGS + 2].copy_from_slice(&flags.to_le_bytes());
+        self.buf[field::BASE_OFFSET..field::BASE_OFFSET + 8].copy_from_slice(&seq.to_le_bytes());
+        self.seal()
+    }
 }
 
 /// Zero-copy view over one serialized chunk.
@@ -307,6 +342,10 @@ pub fn assign_in_place(buf: &mut [u8], group: GroupId, segment: SegmentId, base_
     buf[field::GROUP..field::GROUP + 4].copy_from_slice(&group.raw().to_le_bytes());
     buf[field::SEGMENT..field::SEGMENT + 4].copy_from_slice(&segment.raw().to_le_bytes());
     buf[field::BASE_OFFSET..field::BASE_OFFSET + 8].copy_from_slice(&base_offset.to_le_bytes());
+    // The sequence tag lived in base_offset, which now holds the real
+    // offset: clear the flag so stored/replicated chunks are canonical.
+    let flags = u16::from_le_bytes([buf[field::FLAGS], buf[field::FLAGS + 1]]) & !FLAG_SEQ_TAGGED;
+    buf[field::FLAGS..field::FLAGS + 2].copy_from_slice(&flags.to_le_bytes());
 }
 
 /// Iterates chunks packed back-to-back (a produce request body, a backup
@@ -467,6 +506,32 @@ mod tests {
         assert_eq!(it.position(), 0);
         it.next().unwrap().unwrap();
         assert_eq!(it.position(), one.len());
+    }
+
+    #[test]
+    fn sequence_tag_roundtrip_and_cleared_on_assignment() {
+        let mut b = ChunkBuilder::new(4096, ProducerId(9), StreamId(1), StreamletId(2));
+        b.append(&Record::value_only(b"hello"));
+        let bytes = b.seal_with_sequence(0xDEAD_BEEF_1234);
+        let view = ChunkView::parse(&bytes).unwrap();
+        view.verify().unwrap(); // tag lives in the header; checksum unaffected
+        assert_eq!(view.header().sequence_tag(), Some(0xDEAD_BEEF_1234));
+        assert!(!view.header().is_assigned());
+
+        let mut owned = bytes.to_vec();
+        assign_in_place(&mut owned, GroupId(5), SegmentId(7), 42);
+        let assigned = ChunkView::parse(&owned).unwrap();
+        assigned.verify().unwrap();
+        let h = assigned.header();
+        assert_eq!(h.sequence_tag(), None, "assignment consumes the tag");
+        assert_eq!(h.base_offset, 42);
+        assert_eq!(h.flags & FLAG_SEQ_TAGGED, 0);
+    }
+
+    #[test]
+    fn untagged_chunks_have_no_sequence_tag() {
+        let bytes = sample_chunk(1);
+        assert_eq!(ChunkView::parse(&bytes).unwrap().header().sequence_tag(), None);
     }
 
     #[test]

@@ -176,7 +176,8 @@ impl<'a> RecordView<'a> {
             return None;
         }
         let off = RECORD_FIXED_HEADER;
-        Some(u64::from_le_bytes(self.buf[off..off + 8].try_into().unwrap()))
+        let bytes = self.buf.get(off..off + 8)?;
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
     }
 
     pub fn timestamp(&self) -> Option<u64> {
@@ -184,7 +185,8 @@ impl<'a> RecordView<'a> {
             return None;
         }
         let off = RECORD_FIXED_HEADER + if self.has_version() { 8 } else { 0 };
-        Some(u64::from_le_bytes(self.buf[off..off + 8].try_into().unwrap()))
+        let bytes = self.buf.get(off..off + 8)?;
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
     }
 
     #[inline]

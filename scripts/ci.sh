@@ -6,3 +6,11 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Concurrency/robustness analyzer: non-zero exit on any finding.
+cargo run -q -p kera-lint
+
+# Dynamic lock-order checking: the shim's own lockdep suite, then the
+# chaos + invariants suites with every lock acquisition instrumented.
+(cd crates/shims/parking_lot && cargo test -q --features deadlock-detect)
+cargo test -q --features deadlock-detect --test chaos --test invariants

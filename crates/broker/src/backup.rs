@@ -17,6 +17,7 @@ use kera_common::checksum::Crc32c;
 use kera_common::ids::{NodeId, VirtualLogId, VirtualSegmentId};
 use kera_common::metrics::Counter;
 use kera_common::{KeraError, Result};
+use kera_obs::{NodeObs, Stage};
 use kera_rpc::{RequestContext, Service};
 use kera_storage::flush::DiskFlusher;
 use kera_wire::chunk::ChunkIter;
@@ -48,12 +49,14 @@ pub struct BackupService {
     /// write buffered chunks to secondary storage", §II-B). The
     /// synchronous replication path is a pure in-memory buffer append.
     io_cost_ns: u64,
-    /// Replication writes handled.
-    pub writes: Counter,
-    /// Chunk bytes received.
-    pub bytes_received: Counter,
-    /// Chunks received.
-    pub chunks_received: Counter,
+    /// Observability handle; counters below live in its registry.
+    obs: Arc<NodeObs>,
+    /// Replication writes handled (`kera.backup.writes`).
+    pub writes: Arc<Counter>,
+    /// Chunk bytes received (`kera.backup.bytes_received`).
+    pub bytes_received: Arc<Counter>,
+    /// Chunks received (`kera.backup.chunks_received`).
+    pub chunks_received: Arc<Counter>,
 }
 
 impl BackupService {
@@ -67,14 +70,29 @@ impl BackupService {
         flusher: Option<DiskFlusher>,
         io_cost_ns: u64,
     ) -> Arc<Self> {
+        Self::with_obs(node, flusher, io_cost_ns, NodeObs::disabled(node.raw()))
+    }
+
+    /// Full constructor: binds the backup to a node's observability
+    /// handle. Write counters register as `kera.backup.*`; replication
+    /// writes emit `backup_write` (and, on segment close, `flush`) spans
+    /// under the shipping broker's trace.
+    pub fn with_obs(
+        node: NodeId,
+        flusher: Option<DiskFlusher>,
+        io_cost_ns: u64,
+        obs: Arc<NodeObs>,
+    ) -> Arc<Self> {
+        let reg = obs.registry();
         Arc::new(Self {
             node,
             segments: RwLock::named("backup.segments", HashMap::new()),
             flusher,
             io_cost_ns,
-            writes: Counter::new(),
-            bytes_received: Counter::new(),
-            chunks_received: Counter::new(),
+            writes: reg.counter("kera.backup.writes", &[]),
+            bytes_received: reg.counter("kera.backup.bytes_received", &[]),
+            chunks_received: reg.counter("kera.backup.chunks_received", &[]),
+            obs,
         })
     }
 
@@ -93,6 +111,11 @@ impl BackupService {
     }
 
     fn handle_write(&self, req: BackupWriteRequest) -> Result<BackupWriteResponse> {
+        // Parented to the serving RPC's span (the worker thread's
+        // current context), i.e. the broker's replicate RPC.
+        let mut span = self.obs.span(Stage::BackupWrite, kera_obs::current());
+        span.set_aux(req.chunks.len() as u64);
+        let _in_span = span.is_recording().then(|| kera_obs::enter(span.context()));
         let key = (req.source_broker, req.vlog, req.vseg);
         let entry = {
             let guard = self.segments.read();
@@ -163,6 +186,8 @@ impl BackupService {
             seg.closed = true;
             // Secondary-storage flush: one large asynchronous IO per
             // closed virtual segment (amortized over the whole segment).
+            let mut flush_span = self.obs.span(Stage::Flush, kera_obs::current());
+            flush_span.set_aux(seg.buf.len() as u64);
             if self.io_cost_ns > 0 {
                 kera_common::timing::spin_for_ns(self.io_cost_ns);
             }
@@ -177,6 +202,7 @@ impl BackupService {
                     Bytes::copy_from_slice(&seg.buf),
                 );
             }
+            flush_span.finish();
         }
         Ok(BackupWriteResponse { durable_offset: seg.buf.len() as u32 })
     }

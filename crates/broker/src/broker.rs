@@ -21,6 +21,7 @@ use kera_common::config::StreamConfig;
 use kera_common::ids::{NodeId, StreamId};
 use kera_common::metrics::Counter;
 use kera_common::{KeraError, Result};
+use kera_obs::{NodeObs, Stage};
 use kera_rpc::{RequestContext, RpcClient, Service};
 use kera_storage::store::StreamStore;
 use kera_storage::streamlet::SlotAppend;
@@ -51,17 +52,19 @@ pub struct BrokerService {
     rpc: OnceLock<RpcClient>,
     /// How many shipping threads the driver runs.
     replication_threads: usize,
-    /// Chunks ingested.
-    pub chunks_in: Counter,
-    /// Records ingested.
-    pub records_in: Counter,
-    /// Chunk bytes ingested.
-    pub bytes_in: Counter,
-    /// Fetch requests served.
-    pub fetches: Counter,
+    /// Observability handle; the counters below live in its registry.
+    obs: Arc<NodeObs>,
+    /// Chunks ingested (`kera.broker.chunks_in`).
+    pub chunks_in: Arc<Counter>,
+    /// Records ingested (`kera.broker.records_in`).
+    pub records_in: Arc<Counter>,
+    /// Chunk bytes ingested (`kera.broker.bytes_in`).
+    pub bytes_in: Arc<Counter>,
+    /// Fetch requests served (`kera.broker.fetches`).
+    pub fetches: Arc<Counter>,
     /// Retried chunks answered from the per-slot replay cache instead of
-    /// being appended a second time.
-    pub chunks_replayed: Counter,
+    /// being appended a second time (`kera.broker.chunks_replayed`).
+    pub chunks_replayed: Arc<Counter>,
 }
 
 impl BrokerService {
@@ -81,23 +84,46 @@ impl BrokerService {
         cluster_backups: Vec<NodeId>,
         replication_threads: usize,
     ) -> Arc<Self> {
+        Self::with_obs(
+            node,
+            colocated_backup,
+            cluster_backups,
+            replication_threads,
+            NodeObs::disabled(node.raw()),
+        )
+    }
+
+    /// Full constructor: binds the broker (and its virtual logs) to a
+    /// node's observability handle. Ingestion counters register as
+    /// `kera.broker.*`; produce requests emit `append` and `replicate`
+    /// spans under the serving RPC's trace.
+    pub fn with_obs(
+        node: NodeId,
+        colocated_backup: NodeId,
+        cluster_backups: Vec<NodeId>,
+        replication_threads: usize,
+        obs: Arc<NodeObs>,
+    ) -> Arc<Self> {
+        let reg = obs.registry();
         Arc::new(Self {
             node,
             store: StreamStore::new(),
-            vlogs: VirtualLogSet::new(
+            vlogs: VirtualLogSet::new_with_obs(
                 node,
                 colocated_backup,
                 cluster_backups,
                 SelectionPolicy::RoundRobin,
+                Arc::clone(&obs),
             ),
             driver: OnceLock::new(),
             rpc: OnceLock::new(),
             replication_threads,
-            chunks_in: Counter::new(),
-            records_in: Counter::new(),
-            bytes_in: Counter::new(),
-            fetches: Counter::new(),
-            chunks_replayed: Counter::new(),
+            chunks_in: reg.counter("kera.broker.chunks_in", &[]),
+            records_in: reg.counter("kera.broker.records_in", &[]),
+            bytes_in: reg.counter("kera.broker.bytes_in", &[]),
+            fetches: reg.counter("kera.broker.fetches", &[]),
+            chunks_replayed: reg.counter("kera.broker.chunks_replayed", &[]),
+            obs,
         })
     }
 
@@ -120,6 +146,10 @@ impl BrokerService {
 
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    pub fn obs(&self) -> &Arc<NodeObs> {
+        &self.obs
     }
 
     pub fn store(&self) -> &StreamStore {
@@ -149,6 +179,14 @@ impl BrokerService {
         let mut acks = Vec::with_capacity(req.chunk_count as usize);
         // Touched virtual logs, deduped, with the highest ticket each.
         let mut pending: Vec<(Arc<VirtualLog>, u64)> = Vec::new();
+
+        // The append stage, parented to the serving RPC's span (the
+        // worker thread's current context). Entered so the virtual logs
+        // see this span as the rider context of every appended chunk.
+        let mut append_span = self.obs.span(Stage::Append, kera_obs::current());
+        append_span.set_aux(u64::from(req.chunk_count));
+        let append_guard =
+            append_span.is_recording().then(|| kera_obs::enter(append_span.context()));
 
         for chunk in ChunkIter::new(&req.chunks) {
             let chunk = chunk?;
@@ -226,12 +264,19 @@ impl BrokerService {
             self.bytes_in.add(chunk.len() as u64);
         }
 
+        drop(append_guard);
+        append_span.finish();
+
         // Hand every touched virtual log to the replication driver, then
         // wait for the tickets. The driver ships consolidated batches for
         // all logs concurrently; this worker only blocks on durability —
         // "once all chunks of a request are appended, the corresponding
         // replicated virtual logs are synchronized on backups" (§IV-B).
         if !pending.is_empty() {
+            // The replicate stage: how long this request waited for its
+            // chunks to become durable on the backups.
+            let mut rep_span = self.obs.span(Stage::Replicate, kera_obs::current());
+            rep_span.set_aux(pending.len() as u64);
             let driver = self.driver()?;
             for (vlog, _) in &pending {
                 driver.enqueue(vlog);
@@ -239,6 +284,7 @@ impl BrokerService {
             for (vlog, ticket) in &pending {
                 vlog.wait_durable(*ticket, durability_timeout)?;
             }
+            rep_span.finish();
         }
         Ok(ProduceResponse { acks })
     }

@@ -9,9 +9,11 @@ use std::sync::Arc;
 use kera_common::config::{ClusterConfig, TransportChoice};
 use kera_common::ids::NodeId;
 use kera_common::Result;
+use kera_obs::{NodeObs, RegistrySnapshot};
 use kera_rpc::network::TransportKind;
 use kera_rpc::{AnyNetwork, FaultInjector, FaultPlan, NodeRuntime, NullService, Transport};
 use kera_storage::flush::DiskFlusher;
+use parking_lot::Mutex;
 
 use crate::backup::BackupService;
 use crate::broker::BrokerService;
@@ -46,6 +48,16 @@ pub struct KeraCluster {
     pub coordinator_svc: Arc<CoordinatorService>,
     pub broker_svcs: Vec<Arc<BrokerService>>,
     pub backup_svcs: Vec<Arc<BackupService>>,
+    /// Server-node observability handles (coordinator, brokers, backups).
+    node_obs: Vec<Arc<NodeObs>>,
+    /// Client-node handles, collected as [`KeraCluster::client`] runs.
+    client_obs: Mutex<Vec<Arc<NodeObs>>>,
+}
+
+/// True when `KERA_FLIGHTREC` asks for crash dumps of the per-node event
+/// rings (any non-empty value but `0`).
+fn flightrec_requested() -> bool {
+    std::env::var("KERA_FLIGHTREC").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
 impl KeraCluster {
@@ -74,20 +86,41 @@ impl KeraCluster {
             })
         };
 
+        let mut node_obs: Vec<Arc<NodeObs>> = Vec::new();
+        let flightrec = flightrec_requested();
+        let mut make_obs = |id: NodeId| -> Arc<NodeObs> {
+            let obs = NodeObs::new(id.raw(), config.observability);
+            if flightrec {
+                kera_obs::register_for_dump(obs.recorder());
+            }
+            node_obs.push(Arc::clone(&obs));
+            obs
+        };
+
         // Backups first (brokers replicate into them).
         let mut backup_svcs = Vec::with_capacity(b as usize);
         let mut backup_rts = Vec::with_capacity(b as usize);
         for i in 0..b {
+            let obs = make_obs(backup_node(i));
             let flusher = match &config.flush_dir {
-                Some(dir) => Some(DiskFlusher::start(dir.join(format!("backup-{i}")))?),
+                Some(dir) => Some(DiskFlusher::start_with_histogram(
+                    dir.join(format!("backup-{i}")),
+                    obs.registry().histogram("kera.storage.flush", &[]),
+                )?),
                 None => None,
             };
-            let svc = BackupService::with_io_cost(backup_node(i), flusher, config.io_cost_ns);
-            let rt = NodeRuntime::start_with_policy(
+            let svc = BackupService::with_obs(
+                backup_node(i),
+                flusher,
+                config.io_cost_ns,
+                Arc::clone(&obs),
+            );
+            let rt = NodeRuntime::start_with_obs(
                 register(backup_node(i))?,
                 Arc::clone(&svc) as Arc<dyn kera_rpc::Service>,
                 config.worker_threads,
                 config.retry,
+                obs,
             );
             backup_svcs.push(svc);
             backup_rts.push(Some(rt));
@@ -97,12 +130,20 @@ impl KeraCluster {
         let mut broker_svcs = Vec::with_capacity(b as usize);
         let mut broker_rts = Vec::with_capacity(b as usize);
         for i in 0..b {
-            let svc = BrokerService::new(broker_node(i), backup_node(i), backup_ids.clone());
-            let rt = NodeRuntime::start_with_policy(
+            let obs = make_obs(broker_node(i));
+            let svc = BrokerService::with_obs(
+                broker_node(i),
+                backup_node(i),
+                backup_ids.clone(),
+                2,
+                Arc::clone(&obs),
+            );
+            let rt = NodeRuntime::start_with_obs(
                 register(broker_node(i))?,
                 Arc::clone(&svc) as Arc<dyn kera_rpc::Service>,
                 config.worker_threads,
                 config.retry,
+                obs,
             );
             svc.attach_client(rt.client());
             broker_svcs.push(svc);
@@ -110,14 +151,20 @@ impl KeraCluster {
         }
 
         // Coordinator.
+        let obs = make_obs(COORDINATOR);
         let coordinator_svc = CoordinatorService::new(COORDINATOR, broker_ids);
-        let coordinator_rt = NodeRuntime::start_with_policy(
+        let coordinator_rt = NodeRuntime::start_with_obs(
             register(COORDINATOR)?,
             Arc::clone(&coordinator_svc) as Arc<dyn kera_rpc::Service>,
             2,
             config.retry,
+            obs,
         );
         coordinator_svc.attach_client(coordinator_rt.client());
+
+        if flightrec {
+            kera_obs::install_panic_hook(std::path::Path::new("results"));
+        }
 
         Ok(KeraCluster {
             net,
@@ -129,6 +176,8 @@ impl KeraCluster {
             coordinator_svc,
             broker_svcs,
             backup_svcs,
+            node_obs,
+            client_obs: Mutex::named("cluster.client_obs", Vec::new()),
         })
     }
 
@@ -170,7 +219,55 @@ impl KeraCluster {
             Some(plan) => Arc::new(FaultInjector::new(transport, plan.clone())),
             None => transport,
         };
-        NodeRuntime::start_with_policy(transport, Arc::new(NullService), 1, self.config.retry)
+        let obs = NodeObs::new(client_node(i).raw(), self.config.observability);
+        if flightrec_requested() {
+            kera_obs::register_for_dump(obs.recorder());
+        }
+        self.client_obs.lock().push(Arc::clone(&obs));
+        NodeRuntime::start_with_obs(transport, Arc::new(NullService), 1, self.config.retry, obs)
+    }
+
+    /// Observability handles of the server nodes (coordinator, brokers,
+    /// backups), in registration order.
+    pub fn node_obs(&self) -> &[Arc<NodeObs>] {
+        &self.node_obs
+    }
+
+    /// One merged metrics snapshot across every node of the cluster —
+    /// servers and clients. Keys stay distinct per node (the `node`
+    /// label), so per-node drill-down survives the merge.
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        let mut snap = RegistrySnapshot::default();
+        for obs in &self.node_obs {
+            snap.merge(&obs.registry().snapshot());
+        }
+        for obs in self.client_obs.lock().iter() {
+            snap.merge(&obs.registry().snapshot());
+        }
+        snap
+    }
+
+    /// Dumps every node's flight-recorder ring into `dir` (chaos-failure
+    /// path; the panic hook does the same on its own).
+    pub fn dump_flight_recorders(&self, dir: &std::path::Path, reason: &str) -> Vec<std::path::PathBuf> {
+        let mut paths = Vec::new();
+        for obs in self.node_obs.iter().chain(self.client_obs.lock().iter()) {
+            if obs.recorder().recorded() > 0 {
+                if let Ok(p) = obs.recorder().dump_to_dir(dir) {
+                    paths.push(p);
+                }
+            }
+        }
+        if !paths.is_empty() {
+            // lint: allow(no-println-hot-path) — operator-facing notice on
+            // the failure path; must reach stderr even when tracing is torn.
+            eprintln!(
+                "flight recorder dumped ({reason}): {} file(s) under {}",
+                paths.len(),
+                dir.display()
+            );
+        }
+        paths
     }
 
     /// Kills server `i`: both its broker and its co-located backup vanish

@@ -101,10 +101,12 @@ struct Shared {
     next_tag: AtomicU64,
     /// Records acknowledged by brokers.
     pub acked: ThroughputMeter,
-    /// Request latency (send → ack).
-    pub request_latency: LatencyHistogram,
-    /// Requests that exhausted retries.
-    pub failed_requests: Counter,
+    /// Request latency, send → ack
+    /// (`kera.client.request_latency{producer=<id>}`).
+    pub request_latency: Arc<LatencyHistogram>,
+    /// Requests that exhausted retries
+    /// (`kera.client.failed_requests{producer=<id>}`).
+    pub failed_requests: Arc<Counter>,
 }
 
 /// A producer client.
@@ -126,9 +128,17 @@ impl Producer {
             let md = meta.metadata(s)?;
             routes.insert(s, Arc::new(Self::route_for(&cfg, md)));
         }
+        let rpc = meta.rpc().clone();
+        // Client metrics live in the node's registry, labelled by
+        // producer id so co-hosted producers stay distinguishable.
+        let pid = cfg.id.raw().to_string();
+        let request_latency =
+            rpc.obs().registry().histogram("kera.client.request_latency", &[("producer", &pid)]);
+        let failed_requests =
+            rpc.obs().registry().counter("kera.client.failed_requests", &[("producer", &pid)]);
         let shared = Arc::new(Shared {
             cfg,
-            rpc: meta.rpc().clone(),
+            rpc,
             routes: RwLock::new(routes),
             ready_tx,
             shutdown: AtomicBool::new(false),
@@ -141,8 +151,8 @@ impl Producer {
                     .unwrap_or(1),
             ),
             acked: ThroughputMeter::new(),
-            request_latency: LatencyHistogram::new(),
-            failed_requests: Counter::new(),
+            request_latency,
+            failed_requests,
         });
         let requests_thread = {
             let shared = Arc::clone(&shared);

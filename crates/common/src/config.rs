@@ -332,6 +332,11 @@ pub struct ClusterConfig {
     /// Largest RPC frame a stream transport will accept before dropping
     /// the connection (guards against corrupt/hostile length prefixes).
     pub max_frame_bytes: usize,
+    /// Causal tracing and the flight recorder. Metrics counters always
+    /// work (they are plain relaxed atomics); with this off, every span
+    /// entry point is an inert branch and envelopes carry zero trace ids
+    /// (DESIGN.md §9).
+    pub observability: bool,
 }
 
 impl Default for ClusterConfig {
@@ -346,6 +351,7 @@ impl Default for ClusterConfig {
             retry: RetryPolicy::default(),
             faults: None,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            observability: true,
         }
     }
 }

@@ -43,11 +43,19 @@ impl Counter {
 
 /// Measures sustained throughput over an interval, the way the paper does:
 /// start the clock once the workload is warm, read the counter at the end.
+///
+/// Lock-free: the window start is stored as a nanosecond offset from a
+/// per-meter `Instant` epoch captured at construction, so `record()` and
+/// `rates()` never take a lock.
 #[derive(Debug)]
 pub struct ThroughputMeter {
     items: Counter,
     bytes: Counter,
-    started: parking_lot::Mutex<Option<Instant>>,
+    /// Construction time; window starts are offsets from it.
+    epoch: Instant,
+    /// Nanoseconds from `epoch` to the window start, plus one so that 0
+    /// can mean "window never started".
+    started_ns: AtomicU64,
 }
 
 impl Default for ThroughputMeter {
@@ -61,7 +69,8 @@ impl ThroughputMeter {
         Self {
             items: Counter::new(),
             bytes: Counter::new(),
-            started: parking_lot::Mutex::new(None),
+            epoch: Instant::now(),
+            started_ns: AtomicU64::new(0),
         }
     }
 
@@ -70,7 +79,8 @@ impl ThroughputMeter {
     pub fn start_window(&self) {
         self.items.reset();
         self.bytes.reset();
-        *self.started.lock() = Some(Instant::now());
+        let offset = self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX - 1)) as u64;
+        self.started_ns.store(offset + 1, Ordering::Relaxed);
     }
 
     #[inline]
@@ -90,8 +100,12 @@ impl ThroughputMeter {
     /// Snapshot of (items/s, bytes/s) since `start_window`; `None` if the
     /// window was never started or no time has elapsed.
     pub fn rates(&self) -> Option<(f64, f64)> {
-        let started = (*self.started.lock())?;
-        let secs = started.elapsed().as_secs_f64();
+        let started = self.started_ns.load(Ordering::Relaxed);
+        if started == 0 {
+            return None;
+        }
+        let elapsed_ns = self.epoch.elapsed().as_nanos() as f64 - (started - 1) as f64;
+        let secs = elapsed_ns / 1e9;
         if secs <= 0.0 {
             return None;
         }
@@ -192,6 +206,113 @@ impl LatencyHistogram {
             self.max_ns() as f64 / 1e3,
         )
     }
+
+    /// Folds another histogram's samples into this one (cluster-wide
+    /// aggregation of per-node histograms).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        self.merge_snapshot(&other.snapshot());
+    }
+
+    /// Folds a snapshot's samples into this histogram.
+    pub fn merge_snapshot(&self, s: &HistogramSnapshot) {
+        for (i, &b) in s.buckets.iter().enumerate() {
+            if b != 0 {
+                self.buckets[i].fetch_add(b, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(s.count, Ordering::Relaxed);
+        self.sum_ns.fetch_add(s.sum_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(s.max_ns, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy (fields are read with
+    /// relaxed loads; concurrent recording may skew count vs. buckets by
+    /// in-flight samples, same as every other reader of this type).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Samples recorded since `prev` was taken (windowed view).
+    pub fn delta(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        self.snapshot().delta_since(prev)
+    }
+}
+
+/// Plain-data copy of a [`LatencyHistogram`], for aggregation, windowing
+/// and export without holding the live atomics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; HIST_BUCKETS],
+    pub count: u64,
+    pub sum_ns: u64,
+    pub max_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    pub const fn empty() -> Self {
+        Self { buckets: [0; HIST_BUCKETS], count: 0, sum_ns: 0, max_ns: 0 }
+    }
+
+    /// Sums another snapshot into this one. Associative and commutative:
+    /// every field is a sum except `max_ns`, which is a max.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// What was recorded after `prev` (saturating per field; `max_ns`
+    /// keeps the current max — log-bucketed histograms cannot recover a
+    /// windowed max, only an upper bound).
+    pub fn delta_since(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| {
+                self.buckets[i].saturating_sub(prev.buckets[i])
+            }),
+            count: self.count.saturating_sub(prev.count),
+            sum_ns: self.sum_ns.saturating_sub(prev.sum_ns),
+            max_ns: self.max_ns,
+        }
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (in ns) of the bucket containing quantile `q` (0..=1);
+    /// same semantics as [`LatencyHistogram::quantile_ns`].
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= target {
+                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+            }
+        }
+        self.max_ns
+    }
 }
 
 #[cfg(test)]
@@ -274,5 +395,137 @@ mod tests {
         let s = h.summary();
         assert!(s.contains("n=1"));
         assert!(s.contains("p99"));
+    }
+
+    #[test]
+    fn throughput_meter_restart_resets_window() {
+        let m = ThroughputMeter::new();
+        m.start_window();
+        m.record(10, 100);
+        std::thread::sleep(Duration::from_millis(5));
+        m.start_window(); // restart discards the first window's traffic
+        assert_eq!(m.items(), 0);
+        m.record(7, 70);
+        std::thread::sleep(Duration::from_millis(5));
+        let (items_s, _) = m.rates().unwrap();
+        assert!(items_s > 0.0);
+        assert_eq!(m.items(), 7);
+    }
+
+    #[test]
+    fn throughput_meter_record_is_lock_free_under_contention() {
+        let m = Arc::new(ThroughputMeter::new());
+        m.start_window();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        m.record(1, 8);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.items(), 20_000);
+        assert_eq!(m.bytes(), 160_000);
+        assert!(m.rates().is_some());
+    }
+
+    #[test]
+    fn histogram_merge_combines_samples() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record_ns(100);
+        a.record_ns(200);
+        b.record_ns(400_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_ns(), 400_000);
+        assert!((a.mean_ns() - (100.0 + 200.0 + 400_000.0) / 3.0).abs() < 1.0);
+        // b is untouched.
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative_and_commutative() {
+        let samples: [&[u64]; 3] = [&[10, 20, 30], &[1_000, 2_000], &[u64::MAX, 5]];
+        let snaps: Vec<HistogramSnapshot> = samples
+            .iter()
+            .map(|s| {
+                let h = LatencyHistogram::new();
+                for &ns in *s {
+                    h.record_ns(ns);
+                }
+                h.snapshot()
+            })
+            .collect();
+
+        // (a ⊕ b) ⊕ c
+        let mut left = snaps[0].clone();
+        left.merge(&snaps[1]);
+        left.merge(&snaps[2]);
+        // a ⊕ (b ⊕ c)
+        let mut bc = snaps[1].clone();
+        bc.merge(&snaps[2]);
+        let mut right = snaps[0].clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // c ⊕ b ⊕ a
+        let mut rev = snaps[2].clone();
+        rev.merge(&snaps[1]);
+        rev.merge(&snaps[0]);
+        assert_eq!(left, rev);
+
+        assert_eq!(left.count, 7);
+        assert_eq!(left.max_ns, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_quantiles_match_live_histogram() {
+        let h = LatencyHistogram::new();
+        for ns in [100u64, 200, 400, 800, 100_000] {
+            h.record_ns(ns);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile_ns(q), h.quantile_ns(q), "q={q}");
+        }
+        assert_eq!(s.mean_ns(), h.mean_ns());
+        // Quantile bounds: every quantile is >= the smallest sample's
+        // bucket lower bound and within 2x of the largest sample.
+        assert!(s.quantile_ns(0.0) >= 64);
+        assert!(s.quantile_ns(1.0) >= 100_000 && s.quantile_ns(1.0) < 200_000);
+    }
+
+    #[test]
+    fn snapshot_delta_windows_new_samples() {
+        let h = LatencyHistogram::new();
+        h.record_ns(100);
+        h.record_ns(5_000);
+        let before = h.snapshot();
+        h.record_ns(100);
+        h.record_ns(1_000_000);
+        let d = h.delta(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum_ns, 100 + 1_000_000);
+        // The delta's quantiles reflect only the window's samples.
+        assert!(d.quantile_ns(1.0) >= 1_000_000);
+        let lo = d.quantile_ns(0.0);
+        assert!((64..=127).contains(&lo), "low quantile got {lo}");
+    }
+
+    #[test]
+    fn empty_snapshot_is_merge_identity() {
+        let h = LatencyHistogram::new();
+        h.record_ns(123);
+        let s = h.snapshot();
+        let mut merged = s.clone();
+        merged.merge(&HistogramSnapshot::empty());
+        assert_eq!(merged, s);
+        assert_eq!(HistogramSnapshot::empty().quantile_ns(0.5), 0);
     }
 }

@@ -1,0 +1,61 @@
+//! Observability overhead smoke check: one fig08-style point (KerA R3,
+//! 32 streams, 1 KB chunks) run with tracing off and then on. The traced
+//! run must stay within a small throughput budget of the untraced one —
+//! the hot paths are supposed to pay one branch, not a syscall.
+//!
+//! Environment:
+//! - `KERA_OBS_TOLERANCE_PCT` — allowed slowdown, percent (default 5)
+//! - `KERA_WARMUP_MS` / `KERA_MEASURE_MS` — per-run window, as everywhere
+//!
+//! The check retries a few times and passes on the best attempt: a
+//! single noisy scheduler quantum on a shared CI box must not fail the
+//! gate, a consistent regression must.
+
+use kera_common::config::VirtualLogPolicy;
+use kera_harness::experiment::{run_experiment, ExperimentConfig, SystemKind};
+
+fn point(observability: bool) -> ExperimentConfig {
+    ExperimentConfig {
+        system: SystemKind::Kera,
+        producers: 4,
+        consumers: 0,
+        streams: 32,
+        streamlets_per_stream: 1,
+        chunk_size: 1024,
+        replication_factor: 3,
+        vlog_policy: VirtualLogPolicy::SharedPerBroker(4),
+        observability,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn measure(observability: bool) -> f64 {
+    let m = run_experiment(&point(observability)).expect("overhead point runs");
+    assert_eq!(m.failed_requests, 0, "failed requests during overhead check");
+    m.produce_rate
+}
+
+fn main() {
+    let tolerance: f64 = std::env::var("KERA_OBS_TOLERANCE_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    let attempts = 3;
+    let mut best = f64::INFINITY;
+    for attempt in 1..=attempts {
+        let off = measure(false);
+        let on = measure(true);
+        let overhead_pct = (off - on) / off * 100.0;
+        println!(
+            "obs-overhead attempt {attempt}/{attempts}: off={off:.0} rec/s on={on:.0} rec/s \
+             overhead={overhead_pct:.1}% (budget {tolerance}%)"
+        );
+        best = best.min(overhead_pct);
+        if best <= tolerance {
+            println!("obs-overhead: OK ({best:.1}% <= {tolerance}%)");
+            return;
+        }
+    }
+    eprintln!("obs-overhead: tracing costs {best:.1}% throughput, budget is {tolerance}%");
+    std::process::exit(1);
+}

@@ -48,6 +48,10 @@ fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+fn env_flag(name: &str, default: bool) -> bool {
+    std::env::var(name).map(|v| !v.is_empty() && v != "0").unwrap_or(default)
+}
+
 /// Full description of one experiment point.
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
@@ -83,6 +87,10 @@ pub struct ExperimentConfig {
     /// paper measures is present on the in-process substrate
     /// (`KERA_IO_COST_NS` overrides; 0 disables).
     pub io_cost_ns: u64,
+    /// Cluster-wide observability (tracing + flight recorder). On by
+    /// default; `KERA_OBS=0` turns it off for overhead comparisons.
+    /// Metrics counters work either way.
+    pub observability: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -109,6 +117,7 @@ impl Default for ExperimentConfig {
             kafka_fetch_wait: Duration::from_millis(500),
             producer_pipeline: 1,
             io_cost_ns: env_usize("KERA_IO_COST_NS", 30_000) as u64,
+            observability: env_flag("KERA_OBS", true),
         }
     }
 }
@@ -142,6 +151,39 @@ impl ExperimentConfig {
     }
 }
 
+/// Latency summary of one pipeline stage, from the cluster-wide
+/// `kera.trace.stage` histograms.
+#[derive(Clone, Debug)]
+pub struct StageSummary {
+    pub stage: &'static str,
+    pub count: u64,
+    pub mean_us: f64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+}
+
+/// The stages the report breaks a produce down into, pipeline order.
+const BREAKDOWN_STAGES: [&str; 7] =
+    ["rpc_call", "rpc_serve", "append", "replicate", "vlog_ship", "backup_write", "flush"];
+
+/// Extracts the per-stage latency breakdown from a metrics snapshot
+/// (stages with no samples are omitted).
+pub fn stage_breakdown(snap: &kera_obs::RegistrySnapshot) -> Vec<StageSummary> {
+    BREAKDOWN_STAGES
+        .iter()
+        .filter_map(|&stage| {
+            let h = snap.histogram_sum("kera.trace.stage", &[("stage", stage)]);
+            (h.count > 0).then(|| StageSummary {
+                stage,
+                count: h.count,
+                mean_us: h.mean_ns() / 1e3,
+                p50_us: h.quantile_ns(0.5) as f64 / 1e3,
+                p99_us: h.quantile_ns(0.99) as f64 / 1e3,
+            })
+        })
+        .collect()
+}
+
 /// What one experiment measured.
 #[derive(Clone, Debug)]
 pub struct Measurement {
@@ -160,6 +202,12 @@ pub struct Measurement {
     pub replication_chunks: u64,
     /// Produce requests that failed terminally.
     pub failed_requests: u64,
+    /// Per-stage latency breakdown (client call → broker append →
+    /// replicate wait → vlog ship → backup write → flush), empty when
+    /// observability is off.
+    pub stages: Vec<StageSummary>,
+    /// Full cluster metrics snapshot as JSON, for per-figure dumps.
+    pub metrics_json: String,
 }
 
 impl Measurement {
@@ -198,6 +246,13 @@ impl Cluster {
         }
     }
 
+    fn metrics_snapshot(&self) -> kera_obs::RegistrySnapshot {
+        match self {
+            Cluster::Kera(c) => c.metrics_snapshot(),
+            Cluster::Kafka(c) => c.metrics_snapshot(),
+        }
+    }
+
     fn shutdown(self) {
         match self {
             Cluster::Kera(c) => c.shutdown(),
@@ -212,6 +267,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Measurement> {
         brokers: cfg.brokers,
         worker_threads: cfg.worker_threads,
         io_cost_ns: cfg.io_cost_ns,
+        observability: cfg.observability,
         ..ClusterConfig::default()
     };
     let cluster = match cfg.system {
@@ -393,6 +449,12 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Measurement> {
         Cluster::Kafka(_) => (0, 0),
     };
 
+    // Cluster-wide metrics and the per-stage latency breakdown, read
+    // before teardown so every node's registry is still alive.
+    let snapshot = cluster.metrics_snapshot();
+    let stages = stage_breakdown(&snapshot);
+    let metrics_json = snapshot.to_json();
+
     // Tear down.
     stop.store(true, Ordering::SeqCst);
     for t in source_threads {
@@ -432,6 +494,8 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Measurement> {
         replication_batches,
         replication_chunks,
         failed_requests,
+        stages,
+        metrics_json,
     })
 }
 
@@ -461,6 +525,29 @@ mod tests {
         assert_eq!(m.failed_requests, 0);
         assert!(m.replication_batches > 0);
         assert!(m.consolidation() >= 1.0);
+        // Observability is on by default: the trace histograms must
+        // yield a per-stage breakdown covering the produce pipeline.
+        let stages: Vec<&str> = m.stages.iter().map(|s| s.stage).collect();
+        for want in ["rpc_call", "append", "replicate", "vlog_ship", "backup_write"] {
+            assert!(stages.contains(&want), "missing stage {want} in {stages:?}");
+        }
+        assert!(m.metrics_json.contains("kera.broker.records_in"), "metrics dump populated");
+    }
+
+    #[test]
+    fn observability_off_yields_no_stage_breakdown() {
+        let mut cfg = ExperimentConfig {
+            replication_factor: 2,
+            chunk_size: 1024,
+            observability: false,
+            ..ExperimentConfig::default()
+        };
+        quick(&mut cfg);
+        let m = run_experiment(&cfg).unwrap();
+        assert!(m.produce_rate > 0.0);
+        assert!(m.stages.is_empty(), "no spans with obs off: {:?}", m.stages);
+        // Counters are registry-backed and keep working regardless.
+        assert!(m.metrics_json.contains("kera.broker.records_in"));
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub mod report;
 pub mod rig;
 pub mod workload;
 
-pub use experiment::{ExperimentConfig, Measurement, SystemKind};
+pub use experiment::{ExperimentConfig, Measurement, StageSummary, SystemKind};
 pub use figures::{all_figures, figure};

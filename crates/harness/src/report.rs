@@ -40,9 +40,27 @@ pub fn run_figure(fig: &Figure) -> Result<Vec<Row>> {
         if m.failed_requests > 0 {
             eprintln!("  warning: {} failed produce requests", m.failed_requests);
         }
+        if !m.stages.is_empty() {
+            println!("  {}", format_stage_breakdown(&m.stages));
+        }
         rows.push(Row { figure: fig.id.to_string(), series: p.series.clone(), x: p.x.clone(), m });
     }
     Ok(rows)
+}
+
+/// One-line per-stage latency breakdown, pipeline order:
+/// `stages: append n=42 mean=12us p99=80us | replicate ...`.
+fn format_stage_breakdown(stages: &[crate::experiment::StageSummary]) -> String {
+    let parts: Vec<String> = stages
+        .iter()
+        .map(|s| {
+            format!(
+                "{} n={} mean={:.0}us p99={:.0}us",
+                s.stage, s.count, s.mean_us, s.p99_us
+            )
+        })
+        .collect();
+    format!("stages: {}", parts.join(" | "))
 }
 
 /// Writes rows as TSV (one header line, then one row per point).
@@ -75,8 +93,44 @@ pub fn write_tsv(path: &Path, rows: &[Row]) -> Result<()> {
     Ok(())
 }
 
+/// Writes every point's cluster metrics snapshot and stage breakdown as
+/// one JSON array — the per-figure metrics dump under `results/`.
+pub fn write_metrics_json(path: &Path, rows: &[Row]) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "[")?;
+    for (i, r) in rows.iter().enumerate() {
+        let stages: Vec<String> = r
+            .m
+            .stages
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"stage\":\"{}\",\"count\":{},\"mean_us\":{:.1},\"p50_us\":{:.1},\"p99_us\":{:.1}}}",
+                    s.stage, s.count, s.mean_us, s.p50_us, s.p99_us
+                )
+            })
+            .collect();
+        let metrics = if r.m.metrics_json.is_empty() { "{}" } else { &r.m.metrics_json };
+        writeln!(
+            f,
+            "  {{\"figure\":\"{}\",\"series\":\"{}\",\"x\":\"{}\",\"stages\":[{}],\"metrics\":{}}}{}",
+            r.figure,
+            r.series,
+            r.x,
+            stages.join(","),
+            metrics,
+            if i + 1 == rows.len() { "" } else { "," }
+        )?;
+    }
+    writeln!(f, "]")?;
+    Ok(())
+}
+
 /// Standard entry point for the per-figure binaries: runs the figure and
-/// stores `results/<id>.tsv`.
+/// stores `results/<id>.tsv` plus `results/<id>-metrics.json`.
 pub fn figure_main(id: &str) {
     let fig = crate::figures::figure(id).unwrap_or_else(|| {
         eprintln!("unknown figure {id}");
@@ -89,6 +143,12 @@ pub fn figure_main(id: &str) {
                 eprintln!("could not write {}: {e}", path.display());
             } else {
                 println!("wrote {}", path.display());
+            }
+            let mpath = std::path::PathBuf::from("results").join(format!("{id}-metrics.json"));
+            if let Err(e) = write_metrics_json(&mpath, &rows) {
+                eprintln!("could not write {}: {e}", mpath.display());
+            } else {
+                println!("wrote {}", mpath.display());
             }
         }
         Err(e) => {
@@ -116,6 +176,14 @@ mod tests {
                 replication_batches: 10,
                 replication_chunks: 100,
                 failed_requests: 0,
+                stages: vec![crate::experiment::StageSummary {
+                    stage: "append",
+                    count: 42,
+                    mean_us: 12.5,
+                    p50_us: 10.0,
+                    p99_us: 80.0,
+                }],
+                metrics_json: "{\"node\":0}".into(),
             },
         }
     }
@@ -131,6 +199,18 @@ mod tests {
         let data = lines.next().unwrap();
         assert!(data.contains("KerA R3"));
         assert!(data.contains("1.5000"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_json_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("kera-metrics-{}", std::process::id()));
+        let path = dir.join("fig00-metrics.json");
+        write_metrics_json(&path, &[row()]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"stage\":\"append\""), "{text}");
+        assert!(text.contains("\"metrics\":{\"node\":0}"), "{text}");
+        assert!(text.trim_start().starts_with('['), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -43,6 +43,7 @@ impl BenchRig {
             brokers: cfg.brokers,
             worker_threads: cfg.worker_threads,
             io_cost_ns: cfg.io_cost_ns,
+            observability: cfg.observability,
             ..ClusterConfig::default()
         };
         let cluster = match cfg.system {

@@ -17,6 +17,7 @@ use bytes::Bytes;
 use kera_common::ids::{NodeId, StreamId, StreamletId};
 use kera_common::metrics::Counter;
 use kera_common::{KeraError, Result};
+use kera_obs::NodeObs;
 use kera_rpc::{RequestContext, Service};
 use kera_wire::chunk::ChunkIter;
 use kera_wire::cursor::SlotCursor;
@@ -66,28 +67,35 @@ pub struct TopicStore {
     data_cv: Condvar,
     data_lock: Mutex<()>,
     tuning: KafkaTuning,
-    /// Chunks ingested (leader appends).
-    pub chunks_in: Counter,
-    /// Records ingested.
-    pub records_in: Counter,
-    /// Bytes ingested.
-    pub bytes_in: Counter,
-    /// Follower fetches served.
-    pub follower_fetches: Counter,
+    /// Chunks ingested (leader appends; `kera.kafka.chunks_in`).
+    pub chunks_in: Arc<Counter>,
+    /// Records ingested (`kera.kafka.records_in`).
+    pub records_in: Arc<Counter>,
+    /// Bytes ingested (`kera.kafka.bytes_in`).
+    pub bytes_in: Arc<Counter>,
+    /// Follower fetches served (`kera.kafka.follower_fetches`).
+    pub follower_fetches: Arc<Counter>,
 }
 
 impl TopicStore {
     pub fn new(node: NodeId, tuning: KafkaTuning) -> Arc<Self> {
+        Self::new_with_obs(node, tuning, NodeObs::disabled(node.raw()))
+    }
+
+    /// Like [`TopicStore::new`], registering the ingestion counters in a
+    /// node's metrics registry as `kera.kafka.*`.
+    pub fn new_with_obs(node: NodeId, tuning: KafkaTuning, obs: Arc<NodeObs>) -> Arc<Self> {
+        let reg = obs.registry();
         Arc::new(Self {
             node,
             replicas: RwLock::new(HashMap::new()),
             data_cv: Condvar::new(),
             data_lock: Mutex::new(()),
             tuning,
-            chunks_in: Counter::new(),
-            records_in: Counter::new(),
-            bytes_in: Counter::new(),
-            follower_fetches: Counter::new(),
+            chunks_in: reg.counter("kera.kafka.chunks_in", &[]),
+            records_in: reg.counter("kera.kafka.records_in", &[]),
+            bytes_in: reg.counter("kera.kafka.bytes_in", &[]),
+            follower_fetches: reg.counter("kera.kafka.follower_fetches", &[]),
         })
     }
 

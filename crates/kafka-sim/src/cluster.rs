@@ -11,7 +11,9 @@ use std::sync::Arc;
 use kera_common::config::ClusterConfig;
 use kera_common::ids::NodeId;
 use kera_common::Result;
+use kera_obs::{NodeObs, RegistrySnapshot};
 use kera_rpc::{InMemNetwork, NodeRuntime, NullService};
+use parking_lot::Mutex;
 
 use crate::broker::{KafkaBrokerService, KafkaReplicaService, KafkaTuning, TopicStore};
 use crate::coordinator::KafkaCoordinator;
@@ -42,6 +44,14 @@ pub struct KafkaCluster {
     pub coordinator_svc: Arc<KafkaCoordinator>,
     pub broker_svcs: Vec<Arc<KafkaBrokerService>>,
     pub stores: Vec<Arc<TopicStore>>,
+    node_obs: Vec<Arc<NodeObs>>,
+    client_obs: Mutex<Vec<Arc<NodeObs>>>,
+}
+
+/// Same gate as `kera_broker::cluster`: flight-recorder dumps are opt-in
+/// via `KERA_FLIGHTREC` so ordinary unit tests never install a panic hook.
+fn flightrec_requested() -> bool {
+    std::env::var("KERA_FLIGHTREC").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
 impl KafkaCluster {
@@ -64,22 +74,41 @@ impl KafkaCluster {
         let mut replica_rts = Vec::with_capacity(b as usize);
         let mut fetchers = Vec::with_capacity(b as usize);
 
+        let mut node_obs: Vec<Arc<NodeObs>> = Vec::new();
+        let flightrec = flightrec_requested();
+        let make_obs = |id: NodeId| -> Arc<NodeObs> {
+            let obs = NodeObs::new(id.raw(), config.observability);
+            if flightrec {
+                kera_obs::register_for_dump(obs.recorder());
+            }
+            obs
+        };
+
         for i in 0..b {
-            let store = TopicStore::new(broker_node(i), tuning);
+            let broker_obs = make_obs(broker_node(i));
+            let replica_obs = make_obs(replica_node(i));
+            node_obs.push(Arc::clone(&broker_obs));
+            node_obs.push(Arc::clone(&replica_obs));
+            let store =
+                TopicStore::new_with_obs(broker_node(i), tuning, Arc::clone(&broker_obs));
             let broker_svc = KafkaBrokerService::new(Arc::clone(&store), replica_node_of.clone());
             let replica_svc = KafkaReplicaService::new(Arc::clone(&store));
 
-            let broker_rt = NodeRuntime::start(
+            let broker_rt = NodeRuntime::start_with_obs(
                 Arc::new(net.register(broker_node(i))),
                 Arc::clone(&broker_svc) as Arc<dyn kera_rpc::Service>,
                 config.worker_threads,
+                config.retry,
+                broker_obs,
             );
             // The replica service gets its own small worker pool so
             // replication can never be starved by blocked produce workers.
-            let replica_rt = NodeRuntime::start(
+            let replica_rt = NodeRuntime::start_with_obs(
                 Arc::new(net.register(replica_node(i))),
                 replica_svc as Arc<dyn kera_rpc::Service>,
                 2.max(config.worker_threads / 2),
+                config.retry,
+                replica_obs,
             );
 
             let fetcher = FetcherRunner::new(
@@ -109,10 +138,14 @@ impl KafkaCluster {
         }
 
         let coordinator_svc = KafkaCoordinator::new(COORDINATOR, broker_ids);
-        let coordinator_rt = NodeRuntime::start(
+        let coordinator_obs = make_obs(COORDINATOR);
+        node_obs.push(Arc::clone(&coordinator_obs));
+        let coordinator_rt = NodeRuntime::start_with_obs(
             Arc::new(net.register(COORDINATOR)),
             Arc::clone(&coordinator_svc) as Arc<dyn kera_rpc::Service>,
             2,
+            config.retry,
+            coordinator_obs,
         );
         coordinator_svc.attach_client(coordinator_rt.client());
 
@@ -126,6 +159,8 @@ impl KafkaCluster {
             coordinator_svc,
             broker_svcs,
             stores,
+            node_obs,
+            client_obs: Mutex::named("cluster.client_obs", Vec::new()),
         })
     }
 
@@ -143,11 +178,37 @@ impl KafkaCluster {
 
     /// Registers a pure client node.
     pub fn client(&self, i: u32) -> NodeRuntime {
-        NodeRuntime::start(
+        let obs = NodeObs::new(client_node(i).raw(), self.config.observability);
+        if flightrec_requested() {
+            kera_obs::register_for_dump(obs.recorder());
+        }
+        self.client_obs.lock().push(Arc::clone(&obs));
+        NodeRuntime::start_with_obs(
             Arc::new(self.net.register(client_node(i))),
             Arc::new(NullService),
             1,
+            self.config.retry,
+            obs,
         )
+    }
+
+    /// Per-node observability handles (brokers, replicas, coordinator).
+    pub fn node_obs(&self) -> &[Arc<NodeObs>] {
+        &self.node_obs
+    }
+
+    /// Aggregated metrics across every node (and every client registered
+    /// through [`KafkaCluster::client`]). Per-node `node` labels keep the
+    /// merged keys disjoint.
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        let mut snap = RegistrySnapshot::default();
+        for obs in &self.node_obs {
+            snap.merge(&obs.registry().snapshot());
+        }
+        for obs in self.client_obs.lock().iter() {
+            snap.merge(&obs.registry().snapshot());
+        }
+        snap
     }
 
     pub fn shutdown(mut self) {

@@ -22,6 +22,7 @@ pub const RULE_LOCK_ACROSS_RPC: &str = "lock-across-rpc";
 pub const RULE_STD_LOCK: &str = "std-lock";
 pub const RULE_NO_PANIC: &str = "no-panic";
 pub const RULE_SAFETY: &str = "safety-comment";
+pub const RULE_NO_PRINTLN: &str = "no-println-hot-path";
 
 /// Method names that acquire a lock guard when called with no arguments.
 const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
@@ -135,6 +136,7 @@ fn token_pass(
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
     let hot_path = cfg.hot_path_crates.iter().any(|c| c == krate);
+    let println_banned = cfg.println_crates.iter().any(|c| c == krate);
 
     let is_punct = |i: usize, s: &str| {
         toks.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
@@ -256,6 +258,20 @@ fn token_pass(
                         ),
                     ));
                 }
+            }
+            (TokKind::Ident, m @ ("println" | "eprintln" | "dbg"))
+                if is_punct(i + 1, "!") && println_banned && !in_test =>
+            {
+                findings.push(finding(
+                    path,
+                    t.line,
+                    RULE_NO_PRINTLN,
+                    format!(
+                        "`{m}!` in non-test hot-path code — route diagnostics through the \
+                         obs event log / flight recorder, or annotate \
+                         `// lint: allow(no-println-hot-path) — <reason>`"
+                    ),
+                ));
             }
             (TokKind::Ident, "panic") if is_punct(i + 1, "!") && hot_path && !in_test => {
                 findings.push(finding(

@@ -19,6 +19,10 @@ pub struct LintConfig {
     pub aliases: HashMap<String, String>,
     /// Crates whose non-test code may not panic.
     pub hot_path_crates: Vec<String>,
+    /// Crates whose non-test code may not `println!`/`eprintln!`/`dbg!`
+    /// (rule `no-println-hot-path`): diagnostics go through the obs
+    /// event log instead of raw stdio.
+    pub println_crates: Vec<String>,
 }
 
 impl LintConfig {
@@ -74,6 +78,7 @@ impl LintConfig {
             match (table.as_str(), key.as_str()) {
                 ("hierarchy", "order") => cfg.order = parse_array(&value)?,
                 ("rules", "hot_path_crates") => cfg.hot_path_crates = parse_array(&value)?,
+                ("rules", "println_crates") => cfg.println_crates = parse_array(&value)?,
                 ("aliases", recv) => {
                     cfg.aliases.insert(recv.to_string(), parse_string(&value)?);
                 }

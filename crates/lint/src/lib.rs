@@ -10,6 +10,9 @@
 //!   `crates/shims`
 //! - `no-panic`         `unwrap()` / `expect()` / `panic!` banned in
 //!   non-test code of hot-path crates
+//! - `no-println-hot-path` `println!` / `eprintln!` / `dbg!` banned in
+//!   non-test code of the crates listed in `println_crates` — use the
+//!   obs event log / flight recorder instead
 //! - `safety-comment`   every `unsafe` block / `unsafe impl` needs a
 //!   `// SAFETY:` comment
 //!

@@ -1,0 +1,9 @@
+// Fixture: raw stdio diagnostics in non-test hot-path code. Three
+// findings expected: println!, eprintln!, dbg!.
+
+fn handle(x: u64) -> u64 {
+    println!("handling {x}");
+    eprintln!("warn: {x}");
+    let y = dbg!(x + 1);
+    y
+}

@@ -1,0 +1,22 @@
+// Fixture: the sanctioned escapes from the no-println-hot-path rule —
+// test code, a reasoned allow annotation, and non-macro identifiers.
+
+fn operator_notice(n: usize) {
+    // lint: allow(no-println-hot-path) — operator-facing failure notice
+    eprintln!("flight recorder dumped: {n} file(s)");
+}
+
+fn not_a_macro(printer: &Printer) {
+    printer.println("method call, not the macro");
+    let dbg = 1;
+    let _ = dbg + 1;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("fine here");
+        dbg!(42);
+    }
+}

@@ -4,7 +4,8 @@
 use std::path::Path;
 
 use kera_lint::analyze::{
-    analyze, RULE_LOCK_ACROSS_RPC, RULE_LOCK_ORDER, RULE_NO_PANIC, RULE_SAFETY, RULE_STD_LOCK,
+    analyze, RULE_LOCK_ACROSS_RPC, RULE_LOCK_ORDER, RULE_NO_PANIC, RULE_NO_PRINTLN, RULE_SAFETY,
+    RULE_STD_LOCK,
 };
 use kera_lint::config::LintConfig;
 use kera_lint::{find_workspace_root, load_config, run_workspace, Finding};
@@ -17,6 +18,7 @@ order = ["a.outer", "b.inner"]
 
 [rules]
 hot_path_crates = ["hot"]
+println_crates = ["hot"]
 
 [aliases]
 outer = "a.outer"
@@ -122,6 +124,38 @@ fn cfg_test_regions_are_exempt_from_no_panic() {
 fn test_files_are_exempt_from_no_panic() {
     let (findings, _) =
         analyze("no_panic_bad.rs", "hot", &fixture("no_panic_bad.rs"), true, &cfg());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn println_in_hot_path_crates_is_flagged() {
+    let (findings, _) = run("no_println_bad.rs", "hot");
+    assert_eq!(
+        rules_of(&findings),
+        vec![RULE_NO_PRINTLN, RULE_NO_PRINTLN, RULE_NO_PRINTLN],
+        "{findings:?}"
+    );
+    assert!(findings[0].message.contains("println!"), "{}", findings[0]);
+    assert!(findings[2].message.contains("dbg!"), "{}", findings[2]);
+}
+
+#[test]
+fn println_outside_listed_crates_is_ignored() {
+    let (findings, _) = run("no_println_bad.rs", "coldpath");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn println_escapes_are_clean() {
+    let (findings, suppressed) = run("no_println_good.rs", "hot");
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 1, "the reasoned allow suppresses one finding");
+}
+
+#[test]
+fn println_in_test_files_is_exempt() {
+    let (findings, _) =
+        analyze("no_println_bad.rs", "hot", &fixture("no_println_bad.rs"), true, &cfg());
     assert!(findings.is_empty(), "{findings:?}");
 }
 

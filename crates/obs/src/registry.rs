@@ -1,0 +1,459 @@
+//! The per-node metrics registry: named counters, gauges and histograms
+//! with labels, snapshot/delta semantics and JSON + Prometheus-text
+//! export.
+//!
+//! Registration (`counter()`/`gauge()`/`histogram()`) is get-or-create
+//! under a mutex and meant for startup: callers cache the returned `Arc`
+//! and update it lock-free on the hot path. Metric names follow
+//! `kera.<subsystem>.<name>` (DESIGN.md §9).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use kera_common::metrics::{Counter, HistogramSnapshot, LatencyHistogram};
+use parking_lot::Mutex;
+
+/// A settable signed value (queue depths, open segments, ...).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Self { value: AtomicI64::new(0) }
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A metric's identity: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        MetricKey { name: name.to_string(), labels }
+    }
+
+    /// `name{k="v",...}` (Prometheus-style identity).
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let mut s = self.name.clone();
+        s.push('{');
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{k}=\"{}\"", escape(v));
+        }
+        s.push('}');
+        s
+    }
+
+    /// True if every pair of `filter` appears in this key's labels.
+    pub fn matches(&self, name: &str, filter: &[(&str, &str)]) -> bool {
+        self.name == name
+            && filter
+                .iter()
+                .all(|(k, v)| self.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+    }
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// One node's metrics. Every metric automatically carries the registry's
+/// base labels (at least `node`).
+pub struct MetricsRegistry {
+    base_labels: Vec<(String, String)>,
+    counters: Mutex<BTreeMap<MetricKey, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<MetricKey, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<MetricKey, Arc<LatencyHistogram>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new(node: u32) -> MetricsRegistry {
+        Self::with_base_labels(&[("node", &node.to_string())])
+    }
+
+    pub fn with_base_labels(base: &[(&str, &str)]) -> MetricsRegistry {
+        MetricsRegistry {
+            base_labels: base.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            counters: Mutex::named("obs.registry", BTreeMap::new()),
+            gauges: Mutex::named("obs.registry", BTreeMap::new()),
+            histograms: Mutex::named("obs.registry", BTreeMap::new()),
+        }
+    }
+
+    fn key(&self, name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut all: Vec<(String, String)> = self.base_labels.clone();
+        for (k, v) in labels {
+            all.push((k.to_string(), v.to_string()));
+        }
+        all.sort();
+        MetricKey { name: name.to_string(), labels: all }
+    }
+
+    /// Get-or-create; cache the `Arc`, don't call this on the hot path.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .entry(self.key(name, labels))
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .entry(self.key(name, labels))
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<LatencyHistogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .entry(self.key(name, labels))
+                .or_insert_with(|| Arc::new(LatencyHistogram::new())),
+        )
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: self.gauges.lock().iter().map(|(k, g)| (k.clone(), g.get())).collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a registry (or a merge of several).
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    pub counters: BTreeMap<MetricKey, u64>,
+    pub gauges: BTreeMap<MetricKey, i64>,
+    pub histograms: BTreeMap<MetricKey, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// What changed since `prev`: counters and histogram contents are
+    /// subtracted; gauges keep their current value (they are levels, not
+    /// accumulations).
+    pub fn delta_since(&self, prev: &RegistrySnapshot) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| {
+                    (k.clone(), v.saturating_sub(prev.counters.get(k).copied().unwrap_or(0)))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| match prev.histograms.get(k) {
+                    Some(p) => (k.clone(), h.delta_since(p)),
+                    None => (k.clone(), h.clone()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Unions another snapshot into this one: same-key counters sum,
+    /// gauges sum, histograms merge. Per-node snapshots never collide
+    /// (their keys carry the `node` label), so cluster-wide aggregation
+    /// is a plain fold.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .or_insert_with(HistogramSnapshot::empty)
+                .merge(h);
+        }
+    }
+
+    /// Sums every counter matching `name` + `filter` across labels.
+    pub fn counter_sum(&self, name: &str, filter: &[(&str, &str)]) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.matches(name, filter))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Merges every histogram matching `name` + `filter` across labels.
+    pub fn histogram_sum(&self, name: &str, filter: &[(&str, &str)]) -> HistogramSnapshot {
+        let mut acc = HistogramSnapshot::empty();
+        for (_, h) in self.histograms.iter().filter(|(k, _)| k.matches(name, filter)) {
+            acc.merge(h);
+        }
+        acc
+    }
+
+    /// Renders the snapshot as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{}", escape(&k.render()), v);
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{}", escape(&k.render()), v);
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{}\":{{\"count\":{},\"sum_ns\":{},\"max_ns\":{},\"p50_ns\":{},\
+                 \"p99_ns\":{},\"mean_ns\":{:.1}}}",
+                escape(&k.render()),
+                h.count,
+                h.sum_ns,
+                h.max_ns,
+                h.quantile_ns(0.50),
+                h.quantile_ns(0.99),
+                h.mean_ns(),
+            );
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Dots in metric names become underscores; histograms emit
+    /// cumulative `_bucket{le=...}` lines plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        let mut last_name = String::new();
+        for (k, v) in &self.counters {
+            let name = prom_name(&k.name);
+            if name != last_name {
+                let _ = writeln!(s, "# TYPE {name} counter");
+                last_name = name.clone();
+            }
+            let _ = writeln!(s, "{}{} {}", name, prom_labels(&k.labels, None), v);
+        }
+        last_name.clear();
+        for (k, v) in &self.gauges {
+            let name = prom_name(&k.name);
+            if name != last_name {
+                let _ = writeln!(s, "# TYPE {name} gauge");
+                last_name = name.clone();
+            }
+            let _ = writeln!(s, "{}{} {}", name, prom_labels(&k.labels, None), v);
+        }
+        last_name.clear();
+        for (k, h) in &self.histograms {
+            let name = prom_name(&k.name);
+            if name != last_name {
+                let _ = writeln!(s, "# TYPE {name} histogram");
+                last_name = name.clone();
+            }
+            let mut cum = 0u64;
+            for (i, &b) in h.buckets.iter().enumerate() {
+                if b == 0 {
+                    continue;
+                }
+                cum += b;
+                let le = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                let _ = writeln!(
+                    s,
+                    "{}_bucket{} {}",
+                    name,
+                    prom_labels(&k.labels, Some(&le.to_string())),
+                    cum
+                );
+            }
+            let _ = writeln!(
+                s,
+                "{}_bucket{} {}",
+                name,
+                prom_labels(&k.labels, Some("+Inf")),
+                h.count
+            );
+            let _ = writeln!(s, "{}_sum{} {}", name, prom_labels(&k.labels, None), h.sum_ns);
+            let _ = writeln!(s, "{}_count{} {}", name, prom_labels(&k.labels, None), h.count);
+        }
+        s
+    }
+}
+
+fn prom_name(name: &str) -> String {
+    name.replace(['.', '-'], "_")
+}
+
+fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut s = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(s, "{k}=\"{}\"", escape(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            s.push(',');
+        }
+        let _ = write!(s, "le=\"{le}\"");
+    }
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_identity_by_name_and_labels() {
+        let reg = MetricsRegistry::new(1);
+        let a = reg.counter("kera.rpc.calls", &[]);
+        let b = reg.counter("kera.rpc.calls", &[]);
+        let c = reg.counter("kera.rpc.calls", &[("stream", "7")]);
+        a.inc();
+        b.inc();
+        c.add(5);
+        assert_eq!(a.get(), 2, "same key shares the counter");
+        assert_eq!(c.get(), 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_sum("kera.rpc.calls", &[]), 7);
+        assert_eq!(snap.counter_sum("kera.rpc.calls", &[("stream", "7")]), 5);
+        assert_eq!(snap.counter_sum("kera.rpc.calls", &[("node", "1")]), 7);
+    }
+
+    #[test]
+    fn gauge_set_add_get() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_and_histograms() {
+        let reg = MetricsRegistry::new(2);
+        let c = reg.counter("kera.broker.chunks_in", &[]);
+        let h = reg.histogram("kera.trace.stage", &[("stage", "append")]);
+        c.add(10);
+        h.record_ns(100);
+        let before = reg.snapshot();
+        c.add(3);
+        h.record_ns(200);
+        h.record_ns(300);
+        let delta = reg.snapshot().delta_since(&before);
+        assert_eq!(delta.counter_sum("kera.broker.chunks_in", &[]), 3);
+        let hs = delta.histogram_sum("kera.trace.stage", &[("stage", "append")]);
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.sum_ns, 500);
+    }
+
+    #[test]
+    fn merge_aggregates_across_nodes() {
+        let r1 = MetricsRegistry::new(1);
+        let r2 = MetricsRegistry::new(2);
+        r1.counter("kera.rpc.calls", &[]).add(4);
+        r2.counter("kera.rpc.calls", &[]).add(6);
+        r1.histogram("kera.trace.stage", &[("stage", "flush")]).record_ns(50);
+        r2.histogram("kera.trace.stage", &[("stage", "flush")]).record_ns(70);
+        let mut all = r1.snapshot();
+        all.merge(&r2.snapshot());
+        // Keys differ by node label, so the merged snapshot holds both.
+        assert_eq!(all.counter_sum("kera.rpc.calls", &[]), 10);
+        assert_eq!(all.counter_sum("kera.rpc.calls", &[("node", "2")]), 6);
+        assert_eq!(all.histogram_sum("kera.trace.stage", &[("stage", "flush")]).count, 2);
+    }
+
+    #[test]
+    fn json_export_contains_metrics() {
+        let reg = MetricsRegistry::new(3);
+        reg.counter("kera.rpc.calls", &[]).inc();
+        reg.gauge("kera.vlog.queue_depth", &[]).set(4);
+        reg.histogram("kera.trace.stage", &[("stage", "append")]).record_ns(100);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("kera.rpc.calls"));
+        assert!(json.contains("node=\\\"3\\\""));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn prometheus_export_format() {
+        let reg = MetricsRegistry::new(4);
+        reg.counter("kera.rpc.calls", &[]).add(2);
+        reg.histogram("kera.trace.stage", &[("stage", "append")]).record_ns(100);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE kera_rpc_calls counter"));
+        assert!(text.contains("kera_rpc_calls{node=\"4\"} 2"));
+        assert!(text.contains("# TYPE kera_trace_stage histogram"));
+        assert!(text.contains("le=\"127\"")); // 100ns lands in bucket 6
+        assert!(text.contains("kera_trace_stage_count"));
+        assert!(text.contains("le=\"+Inf\""));
+    }
+}

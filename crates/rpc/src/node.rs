@@ -30,6 +30,7 @@ use kera_common::ids::NodeId;
 use kera_common::metrics::Counter;
 use kera_common::rng::SplitMix64;
 use kera_common::{KeraError, Result};
+use kera_obs::{NodeObs, Span, Stage, TraceContext};
 use kera_wire::frames::{Envelope, FrameKind, OpCode};
 use parking_lot::Mutex;
 
@@ -48,6 +49,10 @@ pub struct RequestContext {
     /// When the caller's budget for this request runs out (from the
     /// envelope's deadline field); `None` if the caller sent none.
     pub deadline: Option<Instant>,
+    /// The server-side span of this request ([`TraceContext::NONE`] when
+    /// untraced). Also installed as the worker thread's current context
+    /// for the duration of the handler, so nested RPCs inherit it.
+    pub trace: TraceContext,
 }
 
 impl RequestContext {
@@ -168,16 +173,22 @@ struct NodeInner {
     shutdown: AtomicBool,
     retry: RetryPolicy,
     dedup: DedupCache,
-    /// RPCs served (requests handled) — observability for tests/benches.
-    pub requests_served: Counter,
-    /// RPCs issued from this node.
-    pub calls_issued: Counter,
-    /// Retransmissions performed by this node's synchronous calls.
-    pub retries_sent: Counter,
-    /// Duplicate requests suppressed by the at-most-once cache.
-    pub requests_deduped: Counter,
-    /// Requests dropped unexecuted because their deadline passed in queue.
-    pub requests_expired: Counter,
+    /// This node's observability handle (disabled unless the runtime was
+    /// started with [`NodeRuntime::start_with_obs`]).
+    obs: Arc<NodeObs>,
+    /// RPCs served (requests handled) — `kera.rpc.requests_served`.
+    pub requests_served: Arc<Counter>,
+    /// RPCs issued from this node — `kera.rpc.calls_issued`.
+    pub calls_issued: Arc<Counter>,
+    /// Retransmissions performed by this node's synchronous calls —
+    /// `kera.rpc.retries_sent`.
+    pub retries_sent: Arc<Counter>,
+    /// Duplicate requests suppressed by the at-most-once cache —
+    /// `kera.rpc.requests_deduped`.
+    pub requests_deduped: Arc<Counter>,
+    /// Requests dropped unexecuted because their deadline passed in
+    /// queue — `kera.rpc.requests_expired`.
+    pub requests_expired: Arc<Counter>,
 }
 
 /// A running node: dispatch thread + workers. Dropping the runtime shuts
@@ -206,10 +217,25 @@ impl NodeRuntime {
         workers: usize,
         retry: RetryPolicy,
     ) -> NodeRuntime {
+        let obs = NodeObs::disabled(transport.local().raw());
+        Self::start_with_obs(transport, service, workers, retry, obs)
+    }
+
+    /// Starts a node with an explicit observability handle; its RPC
+    /// counters register in the handle's metrics registry, and (when the
+    /// handle is enabled) every served request records a span.
+    pub fn start_with_obs(
+        transport: Arc<dyn Transport>,
+        service: Arc<dyn Service>,
+        workers: usize,
+        retry: RetryPolicy,
+        obs: Arc<NodeObs>,
+    ) -> NodeRuntime {
         assert!(workers >= 1, "a node needs at least one worker");
         // lint: allow(no-panic) — construction-time config validation;
         // a malformed retry policy must fail fast at node startup.
         retry.validate().expect("invalid retry policy");
+        let reg = obs.registry();
         let inner = Arc::new(NodeInner {
             id: transport.local(),
             transport,
@@ -218,11 +244,12 @@ impl NodeRuntime {
             shutdown: AtomicBool::new(false),
             retry,
             dedup: DedupCache::new(),
-            requests_served: Counter::new(),
-            calls_issued: Counter::new(),
-            retries_sent: Counter::new(),
-            requests_deduped: Counter::new(),
-            requests_expired: Counter::new(),
+            requests_served: reg.counter("kera.rpc.requests_served", &[]),
+            calls_issued: reg.counter("kera.rpc.calls_issued", &[]),
+            retries_sent: reg.counter("kera.rpc.retries_sent", &[]),
+            requests_deduped: reg.counter("kera.rpc.requests_deduped", &[]),
+            requests_expired: reg.counter("kera.rpc.requests_expired", &[]),
+            obs,
         });
 
         let (work_tx, work_rx) = channel::unbounded::<WorkItem>();
@@ -327,12 +354,24 @@ fn dispatch_loop(inner: Arc<NodeInner>, work_tx: Sender<WorkItem>) {
                             // Retry of an already-executed request whose
                             // response was lost: replay the cached reply.
                             inner.requests_deduped.inc();
+                            inner.obs.event(
+                                Stage::RpcDedupHit,
+                                TraceContext { trace_id: env.trace_id, span_id: env.span_id },
+                                env.opcode as u8,
+                                env.request_id,
+                            );
                             let _ = inner.transport.send(env.from, reply);
                         }
                         Admit::Inflight => {
                             // The original execution will answer; its
                             // response resolves this id's pending slot.
                             inner.requests_deduped.inc();
+                            inner.obs.event(
+                                Stage::RpcDedupHit,
+                                TraceContext { trace_id: env.trace_id, span_id: env.span_id },
+                                env.opcode as u8,
+                                env.request_id,
+                            );
                         }
                         Admit::New => {
                             let expires = (env.deadline_micros > 0).then(|| {
@@ -366,6 +405,7 @@ fn worker_loop(inner: Arc<NodeInner>, service: Arc<dyn Service>, work_rx: Receiv
     while let Ok(item) = work_rx.recv() {
         let env = item.env;
         let key = (env.from, env.request_id);
+        let sender_ctx = TraceContext { trace_id: env.trace_id, span_id: env.span_id };
         if let Some(expires) = item.expires {
             if Instant::now() >= expires {
                 // The caller's budget ran out while this sat in queue —
@@ -373,25 +413,37 @@ fn worker_loop(inner: Arc<NodeInner>, service: Arc<dyn Service>, work_rx: Receiv
                 // cached response) lets a later retry execute fresh.
                 inner.dedup.abandon(key);
                 inner.requests_expired.inc();
+                inner.obs.event(Stage::RpcExpired, sender_ctx, env.opcode as u8, env.request_id);
                 continue;
             }
         }
+        // The serve span is parented to the sender's span; making it the
+        // thread's current context means any nested RPC the handler
+        // issues (broker → backup) parents to this execution.
+        let mut span = inner.obs.span(Stage::RpcServe, sender_ctx);
+        span.set_opcode(env.opcode as u8);
         let ctx = RequestContext {
             from: env.from,
             opcode: env.opcode,
             request_id: env.request_id,
             deadline: item.expires,
+            trace: span.context(),
         };
-        let reply = match service.handle(&ctx, env.payload) {
-            Ok(payload) => Envelope::response(
-                ctx.opcode,
-                ctx.request_id,
-                inner.id,
-                kera_wire::frames::StatusCode::Ok,
-                payload,
-            ),
-            Err(e) => Envelope::error_response(ctx.opcode, ctx.request_id, inner.id, &e),
+        let reply = {
+            let _in_trace = kera_obs::enter(ctx.trace);
+            match service.handle(&ctx, env.payload) {
+                Ok(payload) => Envelope::response(
+                    ctx.opcode,
+                    ctx.request_id,
+                    inner.id,
+                    kera_wire::frames::StatusCode::Ok,
+                    payload,
+                ),
+                Err(e) => Envelope::error_response(ctx.opcode, ctx.request_id, inner.id, &e),
+            }
         };
+        span.set_aux(reply.payload.len() as u64);
+        span.finish();
         inner.dedup.complete(key, reply.clone());
         inner.requests_served.inc();
         // The requester may be gone; that's its problem.
@@ -410,6 +462,11 @@ impl RpcClient {
         self.inner.id
     }
 
+    /// This node's observability handle.
+    pub fn obs(&self) -> &Arc<NodeObs> {
+        &self.inner.obs
+    }
+
     /// Issues a request without waiting; the returned [`PendingCall`]
     /// resolves on response, timeout or disconnection. While the caller
     /// waits, the call retransmits the *same* request id every
@@ -426,10 +483,17 @@ impl RpcClient {
         let (tx, rx) = channel::bounded(1);
         self.inner.pending.lock().insert(id, tx);
         self.inner.calls_issued.inc();
+        // Child of the issuing thread's current context (e.g. the serve
+        // span of the request this call is nested under), or a fresh
+        // root trace for standalone callers.
+        let mut span = self.inner.obs.span_or_root(Stage::RpcCall);
+        span.set_opcode(opcode as u8);
+        let trace = span.context();
         // Async calls have no overall budget yet (the caller picks one at
         // wait time), so the envelope carries no deadline: the server
         // must not drop work a pipelined caller is still waiting on.
-        let env = Envelope::request(opcode, id, self.inner.id, payload);
+        let env = Envelope::request(opcode, id, self.inner.id, payload)
+            .with_trace(trace.trace_id, trace.span_id);
         if let Err(e) = self.inner.transport.send(to, env.clone()) {
             self.inner.pending.lock().remove(&id);
             return PendingCall {
@@ -442,6 +506,7 @@ impl RpcClient {
                 attempts: 1,
                 retransmit: false,
                 next_retransmit: Instant::now(),
+                span,
             };
         }
         let next_retransmit = Instant::now() + self.inner.retry.attempt_timeout;
@@ -455,6 +520,7 @@ impl RpcClient {
             attempts: 1,
             retransmit,
             next_retransmit,
+            span,
         }
     }
 
@@ -478,6 +544,12 @@ impl RpcClient {
         let policy = self.inner.retry;
         let deadline = Instant::now() + timeout;
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        // One span covers the whole logical call: every attempt reuses
+        // the same request id and the same trace context, so a retried
+        // produce stays one causal tree on the server side.
+        let mut span = self.inner.obs.span_or_root(Stage::RpcCall);
+        span.set_opcode(opcode as u8);
+        let trace = span.context();
         // Deterministic jitter: seeded by (node, call), independent of
         // thread interleavings.
         let mut rng = SplitMix64::new(u64::from(self.inner.id.raw()) << 32 ^ id);
@@ -495,11 +567,13 @@ impl RpcClient {
                 }
                 std::thread::sleep(jittered);
                 self.inner.retries_sent.inc();
+                self.inner.obs.event(Stage::RpcRetry, trace, opcode as u8, u64::from(attempt));
             }
             let now = Instant::now();
             if now >= deadline {
                 break;
             }
+            span.set_aux(u64::from(attempt + 1));
             let remaining = deadline - now;
             let attempt_timeout = remaining.min(policy.attempt_timeout);
 
@@ -511,7 +585,8 @@ impl RpcClient {
             // of the same id — the caller hasn't abandoned the call, and
             // the server must not drop the original execution early.
             let env = Envelope::request(opcode, id, self.inner.id, payload.clone())
-                .with_deadline(remaining);
+                .with_deadline(remaining)
+                .with_trace(trace.trace_id, trace.span_id);
             if let Err(e) = self.inner.transport.send(to, env) {
                 self.inner.pending.lock().remove(&id);
                 if e.is_retriable() {
@@ -582,6 +657,9 @@ pub struct PendingCall {
     /// Whether this call retransmits at all (`call_once` does not).
     retransmit: bool,
     next_retransmit: Instant,
+    /// The client-side span of this call; finished when the call
+    /// resolves (or when an abandoned call is dropped).
+    span: Span,
 }
 
 impl PendingCall {
@@ -599,6 +677,7 @@ impl PendingCall {
     /// whenever its retransmission timer fires during the wait.
     pub fn poll_wait(&mut self, timeout: Duration) -> Option<Result<Bytes>> {
         if let Some(e) = self.failed.take() {
+            self.finish_span();
             return Some(Err(e));
         }
         let poll_deadline = Instant::now() + timeout;
@@ -616,6 +695,7 @@ impl PendingCall {
             };
             match self.rx.recv_timeout(wait) {
                 Ok(env) => {
+                    self.finish_span();
                     return Some(match env.check_status() {
                         Ok(()) => Ok(env.payload),
                         Err(e) => Err(e),
@@ -626,6 +706,12 @@ impl PendingCall {
                     if can_retransmit && now >= self.next_retransmit {
                         self.attempts += 1;
                         self.inner.retries_sent.inc();
+                        self.inner.obs.event(
+                            Stage::RpcRetry,
+                            self.span.context(),
+                            self.env.opcode as u8,
+                            u64::from(self.attempts),
+                        );
                         // A failed retransmit is just more loss; the next
                         // timer tick (or the caller's timeout) handles it.
                         let _ = self.inner.transport.send(self.to, self.env.clone());
@@ -636,10 +722,19 @@ impl PendingCall {
                     }
                 }
                 Err(channel::RecvTimeoutError::Disconnected) => {
+                    self.finish_span();
                     return Some(Err(KeraError::Disconnected(self.inner.id)));
                 }
             }
         }
+    }
+
+    /// Records the call span now (resolution time), replacing it with an
+    /// inert one so later polls/drops record nothing more.
+    fn finish_span(&mut self) {
+        let mut span = std::mem::replace(&mut self.span, Span::inert());
+        span.set_aux(u64::from(self.attempts));
+        span.finish();
     }
 
     /// Waits up to `timeout` for the response. On success returns the

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender};
-use kera_common::metrics::Counter;
+use kera_common::metrics::{Counter, LatencyHistogram};
 use kera_common::Result;
 
 /// One unit of flushing: raw bytes destined for a named file.
@@ -30,6 +30,10 @@ struct FlusherShared {
     bytes_written: Counter,
     files_written: Counter,
     errors: Counter,
+    /// Wall time of each file write (create + write + sync). Callers can
+    /// supply a registry-owned histogram (`kera.storage.flush`) via
+    /// [`DiskFlusher::start_with_histogram`].
+    write_latency: Arc<LatencyHistogram>,
 }
 
 /// Handle for enqueueing flush work. Dropping all handles stops the
@@ -44,12 +48,22 @@ pub struct DiskFlusher {
 impl DiskFlusher {
     /// Starts a flusher writing under `dir` (created if missing).
     pub fn start(dir: PathBuf) -> Result<DiskFlusher> {
+        Self::start_with_histogram(dir, Arc::new(LatencyHistogram::new()))
+    }
+
+    /// Like [`DiskFlusher::start`], recording per-file write latency
+    /// into a caller-owned histogram.
+    pub fn start_with_histogram(
+        dir: PathBuf,
+        write_latency: Arc<LatencyHistogram>,
+    ) -> Result<DiskFlusher> {
         fs::create_dir_all(&dir)?;
         let (tx, rx) = channel::unbounded::<FlushTask>();
         let shared = Arc::new(FlusherShared {
             bytes_written: Counter::new(),
             files_written: Counter::new(),
             errors: Counter::new(),
+            write_latency,
         });
         let thread = {
             let dir = dir.clone();
@@ -85,6 +99,11 @@ impl DiskFlusher {
         self.shared.errors.get()
     }
 
+    /// Latency histogram of completed file writes.
+    pub fn write_latency(&self) -> &Arc<LatencyHistogram> {
+        &self.shared.write_latency
+    }
+
     /// Drains the queue and stops the thread.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
@@ -111,6 +130,7 @@ impl Drop for DiskFlusher {
 fn flush_loop(dir: PathBuf, rx: Receiver<FlushTask>, shared: Arc<FlusherShared>) {
     while let Ok(task) = rx.recv() {
         let path = dir.join(&task.name);
+        let start = std::time::Instant::now();
         let result = (|| -> std::io::Result<()> {
             if let Some(parent) = path.parent() {
                 fs::create_dir_all(parent)?;
@@ -121,6 +141,7 @@ fn flush_loop(dir: PathBuf, rx: Receiver<FlushTask>, shared: Arc<FlusherShared>)
         })();
         match result {
             Ok(()) => {
+                shared.write_latency.record(start.elapsed());
                 shared.bytes_written.add(task.data.len() as u64);
                 shared.files_written.inc();
             }

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use kera_common::config::{StreamConfig, VirtualLogPolicy};
 use kera_common::ids::{NodeId, StreamId, StreamletId, VirtualLogId};
 use kera_common::Result;
+use kera_obs::NodeObs;
 use parking_lot::RwLock;
 
 use crate::selector::{BackupSelector, SelectionPolicy};
@@ -46,6 +47,8 @@ pub struct VirtualLogSet {
     selection: SelectionPolicy,
     logs: RwLock<HashMap<LogKey, Arc<VirtualLog>>>,
     next_id: AtomicU64,
+    /// Handed to every created log (inert by default).
+    obs: Arc<NodeObs>,
 }
 
 impl VirtualLogSet {
@@ -55,6 +58,22 @@ impl VirtualLogSet {
         cluster_backups: Vec<NodeId>,
         selection: SelectionPolicy,
     ) -> Self {
+        Self::new_with_obs(
+            owner,
+            colocated_backup,
+            cluster_backups,
+            selection,
+            NodeObs::disabled(owner.raw()),
+        )
+    }
+
+    pub fn new_with_obs(
+        owner: NodeId,
+        colocated_backup: NodeId,
+        cluster_backups: Vec<NodeId>,
+        selection: SelectionPolicy,
+        obs: Arc<NodeObs>,
+    ) -> Self {
         Self {
             owner,
             colocated_backup,
@@ -62,6 +81,7 @@ impl VirtualLogSet {
             selection,
             logs: RwLock::named("vlogset.logs", HashMap::new()),
             next_id: AtomicU64::new(0),
+            obs,
         }
     }
 
@@ -99,12 +119,13 @@ impl VirtualLogSet {
             // start their round-robin at different backups.
             (u64::from(self.owner.raw()) << 32) | id,
         );
-        let log = VirtualLog::new(
+        let log = VirtualLog::new_with_obs(
             VirtualLogId(id as u32),
             self.owner,
             config.replication.vseg_size,
             config.replication.backup_copies() as usize,
             selector,
+            Arc::clone(&self.obs),
         )?;
         guard.insert(key, Arc::clone(&log));
         Ok(log)

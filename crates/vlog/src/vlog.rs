@@ -25,12 +25,14 @@
 //! does the log poison itself and fail its producers.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::BytesMut;
 use kera_common::ids::{NodeId, VirtualLogId, VirtualSegmentId};
 use kera_common::metrics::Counter;
 use kera_common::{KeraError, Result};
+use kera_obs::{NodeObs, Stage, TraceContext};
 use kera_wire::messages::{backup_flags, BackupWriteRequest};
 use parking_lot::{Condvar, Mutex};
 
@@ -84,23 +86,47 @@ pub struct VirtualLog {
     cv: Condvar,
     /// Set while the log sits in a [`crate::driver::ReplicationDriver`]
     /// queue (deduplicates enqueues).
-    pub(crate) queued: std::sync::atomic::AtomicBool,
+    pub(crate) queued: AtomicBool,
+    /// Observability handle (inert when the owning node runs without
+    /// tracing); counters below live in its registry as `kera.vlog.*`.
+    obs: Arc<NodeObs>,
+    /// Trace context of the most recent traced rider: the producer whose
+    /// `append` last touched this log. Driver-path batches — shipped on a
+    /// thread with no trace of its own — adopt this context, so the span
+    /// tree shows the batch a given produce rode out on.
+    rider_trace: AtomicU64,
+    rider_span: AtomicU64,
     /// Replication batches shipped (per backup set, not per backup).
-    pub batches_sent: Counter,
+    pub batches_sent: Arc<Counter>,
     /// Chunks replicated (before fan-out to backups).
-    pub chunks_replicated: Counter,
+    pub chunks_replicated: Arc<Counter>,
     /// Chunk bytes replicated (before fan-out).
-    pub bytes_replicated: Counter,
+    pub bytes_replicated: Arc<Counter>,
 }
 
 impl VirtualLog {
-    /// Creates the log and opens its first virtual segment.
+    /// Creates the log and opens its first virtual segment, with
+    /// observability off (counters still work, tracing is inert).
     pub fn new(
         id: VirtualLogId,
         owner: NodeId,
         vseg_capacity: usize,
         copies: usize,
+        selector: BackupSelector,
+    ) -> Result<Arc<VirtualLog>> {
+        Self::new_with_obs(id, owner, vseg_capacity, copies, selector, NodeObs::disabled(owner.raw()))
+    }
+
+    /// Creates the log bound to a node's observability handle: the
+    /// replication counters register as `kera.vlog.*{vlog=<id>}` and
+    /// shipped batches emit `vlog_ship` spans.
+    pub fn new_with_obs(
+        id: VirtualLogId,
+        owner: NodeId,
+        vseg_capacity: usize,
+        copies: usize,
         mut selector: BackupSelector,
+        obs: Arc<NodeObs>,
     ) -> Result<Arc<VirtualLog>> {
         let backups = selector.select(copies)?;
         let first = VirtualSegment::new(VirtualSegmentId(0), vseg_capacity, backups);
@@ -114,6 +140,12 @@ impl VirtualLog {
             poisoned: false,
             error_epoch: 0,
         };
+        let vl = id.raw().to_string();
+        let labels: &[(&str, &str)] = &[("vlog", &vl)];
+        let reg = obs.registry();
+        let batches_sent = reg.counter("kera.vlog.batches_sent", labels);
+        let chunks_replicated = reg.counter("kera.vlog.chunks_replicated", labels);
+        let bytes_replicated = reg.counter("kera.vlog.bytes_replicated", labels);
         Ok(Arc::new(VirtualLog {
             id,
             owner,
@@ -121,10 +153,13 @@ impl VirtualLog {
             copies,
             state: Mutex::named("vlog.state", state),
             cv: Condvar::new(),
-            queued: std::sync::atomic::AtomicBool::new(false),
-            batches_sent: Counter::new(),
-            chunks_replicated: Counter::new(),
-            bytes_replicated: Counter::new(),
+            queued: AtomicBool::new(false),
+            obs,
+            rider_trace: AtomicU64::new(0),
+            rider_span: AtomicU64::new(0),
+            batches_sent,
+            chunks_replicated,
+            bytes_replicated,
         }))
     }
 
@@ -192,7 +227,18 @@ impl VirtualLog {
         };
         entry.vseg.append(r);
         st.appended += len as u64;
-        Ok(st.appended)
+        let ticket = st.appended;
+        drop(st);
+        if self.obs.enabled() {
+            // Batches adopt the context of the latest traced rider (see
+            // the `rider_trace` field).
+            let ctx = kera_obs::current();
+            if ctx.is_some() {
+                self.rider_trace.store(ctx.trace_id, Ordering::Relaxed);
+                self.rider_span.store(ctx.span_id, Ordering::Relaxed);
+            }
+        }
+        Ok(ticket)
     }
 
     /// Blocks until every byte up to `ticket` is durable on all backups
@@ -224,7 +270,7 @@ impl VirtualLog {
             let work = Self::gather(&mut st);
             drop(st);
 
-            let outcome = self.execute(channel, &work);
+            let outcome = self.traced_execute(channel, &work);
 
             st = self.state.lock();
             st.replicating = false;
@@ -273,7 +319,7 @@ impl VirtualLog {
         st.replicating = true;
         drop(st);
 
-        let outcome = self.execute(channel, &work);
+        let outcome = self.traced_execute(channel, &work);
 
         let mut st = self.state.lock();
         st.replicating = false;
@@ -355,6 +401,34 @@ impl VirtualLog {
             });
         }
         work
+    }
+
+    /// [`Self::execute`] under a `vlog_ship` span. The span parents to
+    /// the calling thread's context when one exists (the `sync` path:
+    /// the replicator is a producer's own worker thread), else to the
+    /// latest rider (the driver path), and is installed as the thread's
+    /// current context so the replicate RPCs nest under it.
+    fn traced_execute(&self, channel: &dyn BackupChannel, work: &[BatchWork]) -> Result<()> {
+        let cur = kera_obs::current();
+        let parent = if cur.is_some() {
+            cur
+        } else {
+            TraceContext {
+                trace_id: self.rider_trace.load(Ordering::Relaxed),
+                span_id: self.rider_span.load(Ordering::Relaxed),
+            }
+        };
+        let mut span = self.obs.span(Stage::VlogShip, parent);
+        span.set_aux(work.iter().map(|w| w.refs.len() as u64).sum());
+        let guard = if span.is_recording() {
+            Some(kera_obs::enter(span.context()))
+        } else {
+            None
+        };
+        let outcome = self.execute(channel, work);
+        drop(guard);
+        span.finish();
+        outcome
     }
 
     /// Ships the captured batches. Chunk bytes are copied out of the

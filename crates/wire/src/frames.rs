@@ -169,6 +169,13 @@ pub struct Envelope {
     /// whose caller has already given up (RAMCloud-style deadline
     /// propagation). Meaningless on responses (always `0`).
     pub deadline_micros: u64,
+    /// Causal-trace identity of the request (`kera-obs`); `0` on both
+    /// fields means "untraced". Responses echo `0` (the caller already
+    /// holds its span).
+    pub trace_id: u64,
+    /// The sender's span at the moment of sending: the parent for
+    /// server-side spans. `0` when untraced.
+    pub span_id: u64,
     pub payload: Bytes,
 }
 
@@ -181,6 +188,8 @@ impl Envelope {
             request_id,
             from,
             deadline_micros: 0,
+            trace_id: 0,
+            span_id: 0,
             payload,
         }
     }
@@ -192,6 +201,14 @@ impl Envelope {
         self.deadline_micros = u64::try_from(budget.as_micros())
             .unwrap_or(u64::MAX)
             .max(u64::from(!budget.is_zero()));
+        self
+    }
+
+    /// Stamps the sender's trace context onto a request (`0, 0` leaves
+    /// it untraced).
+    pub fn with_trace(mut self, trace_id: u64, span_id: u64) -> Self {
+        self.trace_id = trace_id;
+        self.span_id = span_id;
         self
     }
 
@@ -209,6 +226,8 @@ impl Envelope {
             request_id,
             from,
             deadline_micros: 0,
+            trace_id: 0,
+            span_id: 0,
             payload,
         }
     }
@@ -228,7 +247,7 @@ impl Envelope {
 
     /// Serialized envelope header length (excluding the outer u32 length
     /// prefix used by stream transports).
-    pub const HEADER_LEN: usize = 24;
+    pub const HEADER_LEN: usize = 40;
 
     /// Serializes header + payload (no outer length prefix).
     pub fn encode(&self) -> Bytes {
@@ -240,6 +259,8 @@ impl Envelope {
             .u64(self.request_id)
             .u32(self.from.raw())
             .u64(self.deadline_micros)
+            .u64(self.trace_id)
+            .u64(self.span_id)
             .bytes(&self.payload);
         w.finish()
     }
@@ -258,8 +279,20 @@ impl Envelope {
         let request_id = r.u64()?;
         let from = NodeId(r.u32()?);
         let deadline_micros = r.u64()?;
+        let trace_id = r.u64()?;
+        let span_id = r.u64()?;
         let payload = Bytes::copy_from_slice(r.bytes(r.remaining())?);
-        Ok(Envelope { kind, opcode, status, request_id, from, deadline_micros, payload })
+        Ok(Envelope {
+            kind,
+            opcode,
+            status,
+            request_id,
+            from,
+            deadline_micros,
+            trace_id,
+            span_id,
+            payload,
+        })
     }
 
     /// Extracts the error from a response envelope, or `Ok(())` if the
@@ -306,7 +339,18 @@ mod tests {
         assert_eq!(back.status, StatusCode::Ok);
         assert_eq!(back.request_id, 42);
         assert_eq!(back.from, NodeId(7));
+        assert_eq!(back.trace_id, 0);
+        assert_eq!(back.span_id, 0);
         assert_eq!(&back.payload[..], b"body");
+    }
+
+    #[test]
+    fn envelope_trace_context_roundtrips() {
+        let env = Envelope::request(OpCode::Produce, 1, NodeId(3), Bytes::new())
+            .with_trace(0xAABB_CCDD_EEFF_0011, 0x1122_3344_5566_7788);
+        let back = Envelope::decode(&env.encode()).unwrap();
+        assert_eq!(back.trace_id, 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(back.span_id, 0x1122_3344_5566_7788);
     }
 
     #[test]

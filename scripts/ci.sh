@@ -12,5 +12,16 @@ cargo run -q -p kera-lint
 
 # Dynamic lock-order checking: the shim's own lockdep suite, then the
 # chaos + invariants suites with every lock acquisition instrumented.
+# The chaos run arms the flight recorder: a panic or chaos failure dumps
+# each node's recent-event ring to results/flightrec-<node>.json.
 (cd crates/shims/parking_lot && cargo test -q --features deadlock-detect)
-cargo test -q --features deadlock-detect --test chaos --test invariants
+if ! KERA_FLIGHTREC=1 cargo test -q --features deadlock-detect --test chaos --test invariants; then
+  echo "chaos/invariants failed — flight recorder dumps:" >&2
+  ls results/flightrec-*.json >&2 2>/dev/null || echo "  (none recorded)" >&2
+  exit 1
+fi
+
+# Observability overhead smoke check: a quick fig08-style point with
+# tracing on must stay within the budget (default 5%) of the same point
+# with tracing off. KERA_OBS_TOLERANCE_PCT overrides the budget.
+KERA_WARMUP_MS=300 KERA_MEASURE_MS=1200 cargo run -q --release -p kera-harness --bin obs_overhead

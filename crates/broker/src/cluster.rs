@@ -1,8 +1,12 @@
 //! In-process cluster assembly.
 //!
 //! Mirrors the paper's deployment (§V-A): on each of `B` server nodes
-//! live one broker service and one backup service; a single coordinator
-//! manages them. Clients register as extra nodes on the same fabric.
+//! live one broker service and one backup service; a coordinator manages
+//! them. Clients register as extra nodes on the same fabric. With
+//! `ClusterConfig::coordinator.replicas > 1` the coordinator itself is
+//! replicated (metadata log + leader election, DESIGN.md §10): replica 0
+//! keeps the historical node id 0, extra replicas live at 3000+i, and
+//! clients resolve the leader via `RpcClient::call_leader`.
 
 use std::sync::Arc;
 
@@ -19,8 +23,16 @@ use crate::backup::BackupService;
 use crate::broker::BrokerService;
 use crate::coordinator::CoordinatorService;
 
-/// The coordinator's node id.
+/// The coordinator's node id (replica 0 of a replicated coordinator).
 pub const COORDINATOR: NodeId = NodeId(0);
+
+/// Node id of coordinator replica `i`. Replica 0 keeps the historical
+/// id 0 so single-coordinator callers are untouched; extra replicas get
+/// their own range clear of brokers (1+), backups (1001+) and clients
+/// (2001+).
+pub const fn coordinator_node(i: u32) -> NodeId {
+    if i == 0 { COORDINATOR } else { NodeId(3000 + i) }
+}
 
 /// Node id of broker `i`.
 pub const fn broker_node(i: u32) -> NodeId {
@@ -42,10 +54,11 @@ pub struct KeraCluster {
     pub net: AnyNetwork,
     config: ClusterConfig,
     fault_plan: Option<FaultPlan>,
-    coordinator_rt: Option<NodeRuntime>,
+    coordinator_rts: Vec<Option<NodeRuntime>>,
     broker_rts: Vec<Option<NodeRuntime>>,
     backup_rts: Vec<Option<NodeRuntime>>,
-    pub coordinator_svc: Arc<CoordinatorService>,
+    /// Coordinator replicas, in replica order (index 0 = node id 0).
+    pub coordinator_svcs: Vec<Arc<CoordinatorService>>,
     pub broker_svcs: Vec<Arc<BrokerService>>,
     pub backup_svcs: Vec<Arc<BackupService>>,
     /// Server-node observability handles (coordinator, brokers, backups).
@@ -150,17 +163,36 @@ impl KeraCluster {
             broker_rts.push(Some(rt));
         }
 
-        // Coordinator.
-        let obs = make_obs(COORDINATOR);
-        let coordinator_svc = CoordinatorService::new(COORDINATOR, broker_ids);
-        let coordinator_rt = NodeRuntime::start_with_obs(
-            register(COORDINATOR)?,
-            Arc::clone(&coordinator_svc) as Arc<dyn kera_rpc::Service>,
-            2,
-            config.retry,
-            obs,
-        );
-        coordinator_svc.attach_client(coordinator_rt.client());
+        // Coordinator replicas. Single replica (the default) elects
+        // itself instantly inside start_ticker and spawns no thread —
+        // the pre-replication behaviour. Replicated coordinators get
+        // more workers: the leader replicates while serving votes.
+        let r = config.coordinator.replicas;
+        let coordinator_ids: Vec<NodeId> = (0..r).map(coordinator_node).collect();
+        let mut coordinator_svcs = Vec::with_capacity(r as usize);
+        let mut coordinator_rts = Vec::with_capacity(r as usize);
+        for i in 0..r {
+            let obs = make_obs(coordinator_node(i));
+            let svc = CoordinatorService::replicated(
+                coordinator_node(i),
+                coordinator_ids.clone(),
+                broker_ids.clone(),
+                config.coordinator,
+            );
+            let rt = NodeRuntime::start_with_obs(
+                register(coordinator_node(i))?,
+                Arc::clone(&svc) as Arc<dyn kera_rpc::Service>,
+                if r == 1 { 2 } else { 4 },
+                config.retry,
+                obs,
+            );
+            svc.attach_client(rt.client());
+            coordinator_svcs.push(svc);
+            coordinator_rts.push(Some(rt));
+        }
+        for svc in &coordinator_svcs {
+            svc.start_ticker();
+        }
 
         if flightrec {
             kera_obs::install_panic_hook(std::path::Path::new("results"));
@@ -170,10 +202,10 @@ impl KeraCluster {
             net,
             config,
             fault_plan,
-            coordinator_rt: Some(coordinator_rt),
+            coordinator_rts,
             broker_rts,
             backup_rts,
-            coordinator_svc,
+            coordinator_svcs,
             broker_svcs,
             backup_svcs,
             node_obs,
@@ -185,8 +217,55 @@ impl KeraCluster {
         &self.config
     }
 
+    /// The first coordinator replica — the bootstrap leader contact for
+    /// single-coordinator callers. Replica-aware callers should use
+    /// [`KeraCluster::coordinators`] with `RpcClient::call_leader`.
     pub fn coordinator(&self) -> NodeId {
         COORDINATOR
+    }
+
+    /// All coordinator replica node ids, in replica order.
+    pub fn coordinators(&self) -> Vec<NodeId> {
+        (0..self.config.coordinator.replicas).map(coordinator_node).collect()
+    }
+
+    /// Index of the replica currently believing itself leader, if any.
+    pub fn coordinator_leader(&self) -> Option<u32> {
+        self.coordinator_svcs.iter().position(|s| s.is_leader()).map(|i| i as u32)
+    }
+
+    /// Kills coordinator replica `i`: it vanishes from the network and
+    /// its runtime and ticker are joined — a clean process exit.
+    /// Requires the in-memory fabric.
+    pub fn kill_coordinator(&mut self, i: u32) {
+        // lint: allow(no-panic) — chaos-test helper; killing a replica that
+        // does not exist is a driver bug and must fail fast.
+        assert!(
+            self.net.crash(coordinator_node(i)),
+            "kill_coordinator requires TransportChoice::InMemory"
+        );
+        if let Some(svc) = self.coordinator_svcs.get(i as usize) {
+            svc.stop();
+        }
+        if let Some(rt) = self.coordinator_rts.get_mut(i as usize).and_then(Option::take) {
+            rt.shutdown();
+        }
+    }
+
+    /// Wedges coordinator replica `i` without exiting it: its ticker
+    /// stops acting and every request hangs — the "frozen process"
+    /// failure mode (as opposed to the clean exit of
+    /// [`KeraCluster::kill_coordinator`]).
+    pub fn freeze_coordinator(&self, i: u32) {
+        if let Some(svc) = self.coordinator_svcs.get(i as usize) {
+            svc.freeze();
+        }
+    }
+
+    pub fn thaw_coordinator(&self, i: u32) {
+        if let Some(svc) = self.coordinator_svcs.get(i as usize) {
+            svc.thaw();
+        }
     }
 
     pub fn broker_count(&self) -> u32 {
@@ -295,7 +374,12 @@ impl KeraCluster {
     }
 
     fn shutdown_inner(&mut self) {
-        if let Some(rt) = self.coordinator_rt.take() {
+        // Tickers first: they issue RPCs to sibling replicas, so every
+        // replica's runtime must still be up while they drain.
+        for svc in &self.coordinator_svcs {
+            svc.stop();
+        }
+        for rt in self.coordinator_rts.iter_mut().filter_map(Option::take) {
             rt.shutdown();
         }
         for rt in self.broker_rts.iter_mut().filter_map(Option::take) {

@@ -1,50 +1,145 @@
 //! The coordinator: cluster membership, stream creation and placement,
 //! metadata service, crash-time reassignment (paper Fig. 1: "the
 //! coordinator manages storage nodes on which live broker and backup
-//! processes").
+//! processes") — replicated so it is no longer a single point of
+//! failure (DESIGN.md §10).
+//!
+//! Every mutating operation is a [`MetaOp`] the leader appends to the
+//! replicated metadata log ([`crate::metalog`]) and acknowledges only
+//! once a quorum of replicas holds it; replicas fold the committed
+//! prefix into their [`MetaState`] deterministically. Leadership comes
+//! from the election machine ([`crate::election`]): a ticker thread per
+//! replica runs heartbeats while leader and randomized election
+//! timeouts while follower. Client-facing ops on a non-leader fail with
+//! [`KeraError::NotLeader`] carrying a redirect hint;
+//! `RpcClient::call_leader` follows it.
+//!
+//! Lock discipline: the single `coord.replica` mutex guards all
+//! replication state and is **never** held across an RPC — every
+//! handler and every ticker action computes its outbound batch under
+//! the lock, drops it, performs the calls, then re-locks to fold the
+//! responses in.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use kera_common::ids::{NodeId, StreamId};
+use kera_common::config::CoordinatorConfig;
+use kera_common::ids::{NodeId, StreamId, StreamletId};
+use kera_common::rng::SplitMix64;
 use kera_common::{KeraError, Result};
-use kera_rpc::{RequestContext, RpcClient, Service};
+use kera_obs::trace::Stage;
+use kera_obs::NodeObs;
+use kera_rpc::{PendingCall, RequestContext, RpcClient, Service};
+use kera_wire::codec::{Reader, Writer};
 use kera_wire::frames::OpCode;
 use kera_wire::messages::{
     CrashReassignmentResponse, CreateStreamRequest, GetMetadataRequest, HostAssignment,
     HostStreamRequest, Reassignment, ReplicaRole, ReportCrashRequest, StreamMetadata,
     StreamletPlacement,
 };
-use kera_wire::codec::{Reader, Writer};
+use kera_wire::meta::{
+    GetLeaderResponse, MetaAppendRequest, MetaAppendResponse, MetaOp, VoteRequest, VoteResponse,
+};
 use parking_lot::Mutex;
 
-const HOST_TIMEOUT: Duration = Duration::from_secs(5);
+use crate::election::ElectionMachine;
+use crate::metalog::{MetaLog, MetaState};
 
-struct CoordinatorState {
-    brokers: Vec<NodeId>,
-    dead: HashSet<NodeId>,
-    streams: HashMap<StreamId, StreamMetadata>,
+const HOST_TIMEOUT: Duration = Duration::from_secs(5);
+/// Commit budget for one metadata op when the caller sent no deadline.
+const COMMIT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// All replication state of one coordinator replica, under one mutex.
+struct Replica {
+    election: ElectionMachine,
+    log: MetaLog,
+    /// Fold of the committed log prefix (up to `applied_index`).
+    state: MetaState,
+    commit_index: u64,
+    applied_index: u64,
+    /// Leader-only: highest log index each peer confirmed.
+    match_index: HashMap<NodeId, u64>,
+    /// Follower: last valid leader contact (heartbeat or granted vote).
+    last_leader_contact: Instant,
+    /// Leader: last instant a quorum acknowledged an append round.
+    last_quorum_ack: Instant,
+    /// Current randomized election timeout; redrawn per candidacy.
+    election_timeout: Duration,
+    rng: SplitMix64,
+    leader_since: Option<Instant>,
 }
 
-/// The coordinator service.
+/// The coordinator service: one replica of the replicated coordinator.
+/// `CoordinatorService::new` builds the single-replica configuration,
+/// which commits locally and never elects — the pre-replication
+/// behaviour, still the cluster default.
 pub struct CoordinatorService {
     node: NodeId,
-    state: Mutex<CoordinatorState>,
+    /// The full replica set (identical order on every replica).
+    replicas: Vec<NodeId>,
+    /// Brokers this cluster was configured with; (re-)registered into
+    /// the metadata log whenever this replica wins leadership.
+    brokers_cfg: Vec<NodeId>,
+    cfg: CoordinatorConfig,
+    replica: Mutex<Replica>,
     client: OnceLock<RpcClient>,
+    shutdown: AtomicBool,
+    /// Chaos hook: a frozen replica stops ticking and hangs every
+    /// request, simulating a wedged (but not exited) process.
+    frozen: AtomicBool,
+    ticker: Mutex<Option<JoinHandle<()>>>,
+}
+
+fn draw_timeout(cfg: &CoordinatorConfig, rng: &mut SplitMix64) -> Duration {
+    let min = cfg.election_timeout_min.as_millis() as u64;
+    let max = cfg.election_timeout_max.as_millis() as u64;
+    Duration::from_millis(min + rng.next_below(max - min + 1))
 }
 
 impl CoordinatorService {
+    /// Single-replica coordinator (the pre-replication configuration).
     pub fn new(node: NodeId, brokers: Vec<NodeId>) -> Arc<Self> {
+        Self::replicated(node, vec![node], brokers, CoordinatorConfig::default())
+    }
+
+    /// One replica of a replicated coordinator. `replicas` must list the
+    /// full set (including `node`) in the same order on every replica.
+    pub fn replicated(
+        node: NodeId,
+        replicas: Vec<NodeId>,
+        brokers: Vec<NodeId>,
+        cfg: CoordinatorConfig,
+    ) -> Arc<Self> {
+        // Distinct per-replica streams from the shared seed, so a
+        // cluster-wide seed still desynchronizes election timeouts.
+        let mut rng = SplitMix64::new(cfg.seed ^ (u64::from(node.raw()) << 20));
+        let election_timeout = draw_timeout(&cfg, &mut rng);
         Arc::new(Self {
             node,
-            state: Mutex::named("coordinator.state", CoordinatorState {
-                brokers,
-                dead: HashSet::new(),
-                streams: HashMap::new(),
+            brokers_cfg: brokers,
+            replica: Mutex::named("coord.replica", Replica {
+                election: ElectionMachine::new(node, &replicas),
+                log: MetaLog::new(),
+                state: MetaState::new(),
+                commit_index: 0,
+                applied_index: 0,
+                match_index: HashMap::new(),
+                last_leader_contact: Instant::now(),
+                last_quorum_ack: Instant::now(),
+                election_timeout,
+                rng,
+                leader_since: None,
             }),
+            replicas,
+            cfg,
             client: OnceLock::new(),
+            shutdown: AtomicBool::new(false),
+            frozen: AtomicBool::new(false),
+            ticker: Mutex::named("coord.ticker", None),
         })
     }
 
@@ -58,23 +153,602 @@ impl CoordinatorService {
             .ok_or_else(|| KeraError::Protocol("coordinator not attached to its runtime".into()))
     }
 
+    fn obs(&self) -> Option<&Arc<NodeObs>> {
+        self.client.get().map(|c| c.obs())
+    }
+
     pub fn node(&self) -> NodeId {
         self.node
     }
 
-    /// Brokers currently believed alive, in registration order.
-    fn alive_brokers(state: &CoordinatorState) -> Vec<NodeId> {
-        state.brokers.iter().copied().filter(|b| !state.dead.contains(b)).collect()
+    pub fn replicas(&self) -> &[NodeId] {
+        &self.replicas
     }
 
-    fn handle_create(&self, req: CreateStreamRequest) -> Result<StreamMetadata> {
+    pub fn is_leader(&self) -> bool {
+        self.replica.lock().election.is_leader()
+    }
+
+    pub fn current_term(&self) -> u64 {
+        self.replica.lock().election.term()
+    }
+
+    /// Every term this replica ever won — the chaos suite aggregates
+    /// these across replicas to assert no term was won twice.
+    pub fn won_terms(&self) -> Vec<u64> {
+        self.replica.lock().election.won_terms()
+    }
+
+    /// Committed stream count (test/diagnostic aid).
+    pub fn committed_streams(&self) -> usize {
+        self.replica.lock().state.streams.len()
+    }
+
+    // ---- lifecycle -----------------------------------------------------
+
+    /// Starts this replica's protocol clock. A single-replica
+    /// configuration elects itself instantly and needs no thread; a
+    /// multi-replica one spawns the heartbeat/election ticker.
+    pub fn start_ticker(self: &Arc<Self>) {
+        if self.replicas.len() == 1 {
+            {
+                let mut st = self.replica.lock();
+                if !st.election.is_leader() {
+                    let (li, lt) = (st.log.last_index(), st.log.last_term());
+                    st.election.start_election(li, lt);
+                    st.leader_since = Some(Instant::now());
+                }
+            }
+            let _ = self.ensure_brokers_registered();
+            return;
+        }
+        let svc = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("coord-tick-{}", self.node.raw()))
+            .spawn(move || svc.tick_loop());
+        if let Ok(h) = handle {
+            *self.ticker.lock() = Some(h);
+        }
+    }
+
+    /// Stops the ticker (idempotent). Also thaws a frozen replica so
+    /// blocked handlers drain during shutdown.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let handle = self.ticker.lock().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+
+    /// Chaos hook: wedge the replica — the ticker stops acting and every
+    /// request (including heartbeats and votes) hangs until [`Self::thaw`].
+    pub fn freeze(&self) {
+        self.frozen.store(true, Ordering::SeqCst);
+    }
+
+    pub fn thaw(&self) {
+        self.frozen.store(false, Ordering::SeqCst);
+    }
+
+    fn wait_if_frozen(&self, ctx: &RequestContext) -> Result<()> {
+        while self.frozen.load(Ordering::SeqCst) && !self.shutdown.load(Ordering::SeqCst) {
+            if let Some(d) = ctx.deadline {
+                if Instant::now() >= d {
+                    return Err(KeraError::Timeout { op: "frozen coordinator" });
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+
+    // ---- observability helpers ----------------------------------------
+
+    fn bump(&self, name: &'static str) {
+        if let Some(obs) = self.obs() {
+            obs.registry().counter(name, &[]).inc();
+        }
+    }
+
+    fn set_tenure_ms(&self, v: i64) {
+        if let Some(obs) = self.obs() {
+            obs.registry().gauge("coord_leader_tenure_ms", &[]).set(v);
+        }
+    }
+
+    /// Records an instant election event as a root span (aux = term) so
+    /// it lands in the flight recorder even with no ambient trace.
+    fn election_event(&self, stage: Stage, term: u64) {
+        if let Some(obs) = self.obs() {
+            let mut span = obs.root_span(stage);
+            span.set_aux(term);
+        }
+    }
+
+    fn note_stepdown(&self, st: &mut Replica) {
+        st.leader_since = None;
+        self.set_tenure_ms(0);
+        self.election_event(Stage::ElectionStepdown, st.election.term());
+    }
+
+    // ---- state machine plumbing ---------------------------------------
+
+    /// The committed fold plus the uncommitted log suffix: what the
+    /// leader validates new ops against, so two racing ops in the same
+    /// term cannot both pass validation.
+    fn preview(st: &Replica) -> MetaState {
+        let mut view = st.state.clone();
+        for rec in st.log.entries_after(st.applied_index) {
+            view.apply(&rec.op);
+        }
+        view
+    }
+
+    fn apply_committed(st: &mut Replica) {
+        while st.applied_index < st.commit_index {
+            let next = st.applied_index + 1;
+            let Some(rec) = st.log.get(next) else { break };
+            let op = rec.op.clone();
+            st.state.apply(&op);
+            st.applied_index = next;
+        }
+    }
+
+    fn maybe_compact(&self, st: &mut Replica) {
+        if st.applied_index.saturating_sub(st.log.base_index())
+            >= self.cfg.snapshot_threshold as u64
+        {
+            if let Some(term) = st.log.term_at(st.applied_index) {
+                st.log.compact_to(st.applied_index, term);
+            }
+        }
+    }
+
+    fn require_leader(&self, st: &Replica) -> Result<()> {
+        if st.election.is_leader() {
+            Ok(())
+        } else {
+            Err(KeraError::NotLeader {
+                hint: st.election.leader_hint(),
+                term: st.election.term(),
+            })
+        }
+    }
+
+    fn op_deadline(&self, ctx: &RequestContext) -> Instant {
+        Instant::now() + ctx.remaining().map_or(COMMIT_TIMEOUT, |r| r.min(COMMIT_TIMEOUT))
+    }
+
+    fn round_timeout(&self) -> Duration {
+        (self.cfg.heartbeat_interval * 4).max(Duration::from_millis(50))
+    }
+
+    // ---- replication (leader side) ------------------------------------
+
+    /// One append batch per peer, each carrying everything the peer is
+    /// missing (suffix from its match index, or a snapshot plus the tail
+    /// when the suffix was compacted away). Computed under the lock;
+    /// sent after it drops.
+    fn build_round(&self, st: &Replica) -> Vec<(NodeId, MetaAppendRequest)> {
+        let term = st.election.term();
+        st.election
+            .peers()
+            .iter()
+            .map(|&peer| {
+                let from = st
+                    .match_index
+                    .get(&peer)
+                    .copied()
+                    .unwrap_or(0)
+                    .min(st.log.last_index());
+                let (snapshot, prev_index) = if st.log.suffix_from(from).is_some() {
+                    (None, from)
+                } else {
+                    // Peer is behind the compaction horizon: ship the
+                    // committed fold and the entries after it.
+                    let snap_term = st.log.term_at(st.applied_index).unwrap_or(0);
+                    (Some(st.state.snapshot(st.applied_index, snap_term)), st.applied_index)
+                };
+                let entries = st.log.suffix_from(prev_index).unwrap_or_default();
+                let prev_term = st.log.term_at(prev_index).unwrap_or(0);
+                let req = MetaAppendRequest {
+                    term,
+                    leader: self.node,
+                    prev_index,
+                    prev_term,
+                    commit_index: st.commit_index,
+                    snapshot,
+                    entries,
+                };
+                (peer, req)
+            })
+            .collect()
+    }
+
+    /// Sends one append round and folds the responses in: match indices
+    /// move forward, the commit index advances over quorum-replicated
+    /// current-term entries, and a higher observed term deposes us.
+    fn run_append_round(&self, batches: Vec<(NodeId, MetaAppendRequest)>) -> Result<()> {
+        let client = self.client()?;
+        let calls: Vec<(NodeId, PendingCall)> = batches
+            .into_iter()
+            .map(|(peer, req)| (peer, client.call_async(peer, OpCode::MetaAppend, req.encode())))
+            .collect();
+        let round_deadline = Instant::now() + self.round_timeout();
+        let mut responses = Vec::new();
+        for (peer, call) in calls {
+            let left = round_deadline
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(1));
+            if let Ok(bytes) = call.wait(left) {
+                if let Ok(resp) = MetaAppendResponse::decode(&bytes) {
+                    responses.push((peer, resp));
+                }
+            }
+        }
+
+        let mut st = self.replica.lock();
+        let mut successes = 0usize;
+        for (peer, resp) in responses {
+            if st.election.observe_term(resp.term) {
+                self.note_stepdown(&mut st);
+                return Err(KeraError::NotLeader {
+                    hint: st.election.leader_hint(),
+                    term: st.election.term(),
+                });
+            }
+            if !st.election.is_leader() {
+                break;
+            }
+            if resp.success {
+                successes += 1;
+                let mi = st.match_index.entry(peer).or_insert(0);
+                *mi = (*mi).max(resp.match_index);
+            } else {
+                // The follower told us where its log actually ends; the
+                // next round resends from there (or ships a snapshot).
+                let cap = st.log.last_index();
+                st.match_index.insert(peer, resp.match_index.min(cap));
+            }
+        }
+        if st.election.is_leader() {
+            if successes + 1 >= st.election.quorum() {
+                st.last_quorum_ack = Instant::now();
+            }
+            Self::advance_commit(&mut st);
+            self.maybe_compact(&mut st);
+        }
+        Ok(())
+    }
+
+    fn advance_commit(st: &mut Replica) {
+        let mut indices: Vec<u64> = vec![st.log.last_index()];
+        indices.extend(st.match_index.values().copied());
+        indices.sort_unstable_by(|a, b| b.cmp(a));
+        let candidate = indices[st.election.quorum() - 1];
+        // Raft commit rule: only entries of the current term commit by
+        // counting; prior-term entries commit transitively under them.
+        if candidate > st.commit_index && st.log.term_at(candidate) == Some(st.election.term()) {
+            st.commit_index = candidate;
+            Self::apply_committed(st);
+        }
+    }
+
+    /// Drives append rounds until the record at `target` is committed,
+    /// the deadline passes, or we are deposed.
+    fn replicate_to_commit(&self, target: u64, deadline: Instant) -> Result<()> {
+        loop {
+            let batches = {
+                let mut st = self.replica.lock();
+                self.require_leader(&st)?;
+                if self.replicas.len() == 1 {
+                    st.commit_index = st.log.last_index();
+                    Self::apply_committed(&mut st);
+                    self.maybe_compact(&mut st);
+                }
+                if st.commit_index >= target {
+                    return Ok(());
+                }
+                self.build_round(&st)
+            };
+            self.run_append_round(batches)?;
+            if self.replica.lock().commit_index >= target {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(KeraError::Timeout { op: "metadata log commit" });
+            }
+            // A dead peer fails sends instantly; don't spin hot on it.
+            std::thread::sleep(self.cfg.heartbeat_interval.min(Duration::from_millis(25)));
+        }
+    }
+
+    // ---- ticker: heartbeats, timeouts, campaigns ----------------------
+
+    fn tick_loop(self: &Arc<Self>) {
+        enum Action {
+            Idle,
+            Heartbeat,
+            Campaign(VoteRequest),
+        }
+        let granularity = (self.cfg.heartbeat_interval / 2).max(Duration::from_millis(1));
+        let mut last_heartbeat = Instant::now() - self.cfg.heartbeat_interval;
+        loop {
+            std::thread::sleep(granularity);
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if self.frozen.load(Ordering::SeqCst) {
+                continue;
+            }
+            let now = Instant::now();
+            let action = {
+                let mut st = self.replica.lock();
+                if st.election.is_leader() {
+                    if let Some(since) = st.leader_since {
+                        self.set_tenure_ms(now.duration_since(since).as_millis() as i64);
+                    }
+                    if now.duration_since(st.last_quorum_ack) > self.cfg.election_timeout_max {
+                        // Lost our quorum: stop accepting writes rather
+                        // than serving a possibly-partitioned minority.
+                        st.election.abdicate();
+                        self.note_stepdown(&mut st);
+                        st.last_leader_contact = now;
+                        Action::Idle
+                    } else if now.duration_since(last_heartbeat) >= self.cfg.heartbeat_interval {
+                        Action::Heartbeat
+                    } else {
+                        Action::Idle
+                    }
+                } else if now.duration_since(st.last_leader_contact) >= st.election_timeout {
+                    self.election_event(Stage::ElectionTimeout, st.election.term());
+                    let (li, lt) = (st.log.last_index(), st.log.last_term());
+                    let req = st.election.start_election(li, lt);
+                    st.election_timeout = draw_timeout(&self.cfg, &mut st.rng);
+                    st.last_leader_contact = now;
+                    Action::Campaign(req)
+                } else {
+                    Action::Idle
+                }
+            };
+            match action {
+                Action::Heartbeat => {
+                    last_heartbeat = Instant::now();
+                    let _ = self.heartbeat_round();
+                }
+                Action::Campaign(req) => {
+                    self.bump("coord_elections_total");
+                    self.run_campaign(req);
+                }
+                Action::Idle => {}
+            }
+        }
+    }
+
+    /// One heartbeat: an append round that doubles as catch-up and
+    /// commit-index driver for lagging peers.
+    fn heartbeat_round(&self) -> Result<()> {
+        let batches = {
+            let st = self.replica.lock();
+            if !st.election.is_leader() {
+                return Ok(());
+            }
+            self.build_round(&st)
+        };
+        self.run_append_round(batches)
+    }
+
+    /// Broadcasts one vote request and folds the responses. On winning,
+    /// asserts authority immediately and re-drives cluster side effects.
+    fn run_campaign(self: &Arc<Self>, req: VoteRequest) {
+        let Ok(client) = self.client() else { return };
+        let mut span = client.obs().root_span(Stage::ElectionVote);
+        span.set_aux(req.term);
+        let peers = { self.replica.lock().election.peers().to_vec() };
+        let calls: Vec<(NodeId, PendingCall)> = peers
+            .into_iter()
+            .map(|peer| (peer, client.call_async(peer, OpCode::RequestVote, req.encode())))
+            .collect();
+        let vote_deadline =
+            Instant::now() + (self.cfg.election_timeout_min / 2).max(Duration::from_millis(20));
+        let mut won = false;
+        for (peer, call) in calls {
+            let left = vote_deadline
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(1));
+            let Ok(bytes) = call.wait(left) else { continue };
+            let Ok(resp) = VoteResponse::decode(&bytes) else { continue };
+            let mut st = self.replica.lock();
+            if st.election.on_vote_response(peer, &resp) {
+                st.leader_since = Some(Instant::now());
+                st.last_quorum_ack = Instant::now();
+                let floor = st.log.last_index().min(st.commit_index);
+                for p in st.election.peers().to_vec() {
+                    // Optimistically assume peers hold our committed
+                    // prefix; a rejection lowers this to the real tail.
+                    st.match_index.insert(p, floor);
+                }
+                let term = st.election.term();
+                drop(st);
+                self.election_event(Stage::ElectionWon, term);
+                if term > 1 {
+                    self.bump("coord_failovers_total");
+                }
+                won = true;
+                break;
+            }
+        }
+        if won {
+            // Assert authority before followers' timers fire again.
+            let _ = self.heartbeat_round();
+            // Re-drive side effects a deposed leader may have left
+            // half-done; both are idempotent.
+            let _ = self.ensure_brokers_registered();
+            let svc = Arc::clone(self);
+            let _ = std::thread::Builder::new()
+                .name(format!("coord-repush-{}", self.node.raw()))
+                .spawn(move || svc.repush_all_hosting());
+        }
+    }
+
+    /// Appends (idempotent) RegisterBroker records for the configured
+    /// broker set. Every new leader appends at least one, which also
+    /// serves as the current-term record that unblocks committing any
+    /// prior-term tail (see [`Self::advance_commit`]).
+    fn ensure_brokers_registered(&self) -> Result<()> {
+        let target = {
+            let mut st = self.replica.lock();
+            self.require_leader(&st)?;
+            let view = Self::preview(&st);
+            let term = st.election.term();
+            let mut target = 0u64;
+            for &b in &self.brokers_cfg {
+                if !view.brokers.contains(&b) {
+                    target = st.log.append(term, MetaOp::RegisterBroker { node: b }).index;
+                }
+            }
+            if target == 0 {
+                match self.brokers_cfg.first() {
+                    Some(&b) => {
+                        target = st.log.append(term, MetaOp::RegisterBroker { node: b }).index;
+                    }
+                    None => return Ok(()),
+                }
+            }
+            target
+        };
+        self.replicate_to_commit(target, Instant::now() + COMMIT_TIMEOUT)
+    }
+
+    /// Re-sends HostStream for every committed stream (idempotent on the
+    /// brokers): a failover may have interrupted the previous leader
+    /// between commit and push.
+    fn repush_all_hosting(&self) {
+        let metas: Vec<StreamMetadata> = {
+            let st = self.replica.lock();
+            if !st.election.is_leader() {
+                return;
+            }
+            st.state.streams.values().cloned().collect()
+        };
+        for meta in &metas {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let _ = self.push_hosting(meta, None);
+        }
+    }
+
+    // ---- consensus RPC handlers ---------------------------------------
+
+    fn handle_vote(&self, payload: &Bytes) -> Result<Bytes> {
+        let req = VoteRequest::decode(payload)?;
+        let resp = {
+            let mut st = self.replica.lock();
+            let was_leader = st.election.is_leader();
+            let (li, lt) = (st.log.last_index(), st.log.last_term());
+            let resp = st.election.on_vote_request(&req, li, lt);
+            if resp.granted {
+                // We promised our vote; grant the candidate a full
+                // election window before campaigning ourselves.
+                st.last_leader_contact = Instant::now();
+            }
+            if was_leader && !st.election.is_leader() {
+                self.note_stepdown(&mut st);
+            }
+            resp
+        };
+        self.election_event(Stage::ElectionVote, resp.term);
+        Ok(resp.encode())
+    }
+
+    fn handle_append(&self, payload: &Bytes) -> Result<Bytes> {
+        let req = MetaAppendRequest::decode(payload)?;
+        let mut st = self.replica.lock();
+        let was_leader = st.election.is_leader();
+        if !st.election.on_leader_contact(req.term, req.leader) {
+            let resp =
+                MetaAppendResponse { term: st.election.term(), success: false, match_index: 0 };
+            return Ok(resp.encode());
+        }
+        if was_leader && !st.election.is_leader() {
+            self.note_stepdown(&mut st);
+        }
+        st.last_leader_contact = Instant::now();
+
+        if let Some(snap) = &req.snapshot {
+            if snap.last_index > st.applied_index {
+                st.state = MetaState::restore(snap);
+                st.log.install_snapshot(snap.last_index, snap.last_term);
+                st.applied_index = snap.last_index;
+                st.commit_index = st.commit_index.max(snap.last_index);
+            }
+        }
+
+        let consistent = match st.log.term_at(req.prev_index) {
+            Some(t) if t == req.prev_term => true,
+            Some(_) => {
+                // Our record at prev diverges from the leader's: drop it
+                // and everything after (all uncommitted by definition).
+                st.log.truncate_from(req.prev_index);
+                false
+            }
+            None => false,
+        };
+        if !consistent {
+            let resp = MetaAppendResponse {
+                term: st.election.term(),
+                success: false,
+                match_index: st.log.last_index().min(req.prev_index.saturating_sub(1)),
+            };
+            return Ok(resp.encode());
+        }
+        for rec in req.entries {
+            match st.log.term_at(rec.index) {
+                Some(t) if t == rec.term => continue,
+                Some(_) => st.log.truncate_from(rec.index),
+                None => {}
+            }
+            st.log.push(rec);
+        }
+        st.commit_index = st.commit_index.max(req.commit_index.min(st.log.last_index()));
+        Self::apply_committed(&mut st);
+        self.maybe_compact(&mut st);
+        let resp = MetaAppendResponse {
+            term: st.election.term(),
+            success: true,
+            match_index: st.log.last_index(),
+        };
+        Ok(resp.encode())
+    }
+
+    fn handle_get_leader(&self) -> Result<Bytes> {
+        let st = self.replica.lock();
+        let resp = GetLeaderResponse {
+            leader: if st.election.is_leader() {
+                Some(self.node)
+            } else {
+                st.election.leader_hint()
+            },
+            term: st.election.term(),
+            is_leader: st.election.is_leader(),
+        };
+        Ok(resp.encode())
+    }
+
+    // ---- client-facing ops (leader only) ------------------------------
+
+    fn handle_create(&self, ctx: &RequestContext, req: CreateStreamRequest) -> Result<StreamMetadata> {
         req.config.validate()?;
-        let metadata = {
-            let mut st = self.state.lock();
-            if st.streams.contains_key(&req.config.id) {
+        let (index, metadata) = {
+            let mut st = self.replica.lock();
+            self.require_leader(&st)?;
+            let view = Self::preview(&st);
+            if view.streams.contains_key(&req.config.id) {
                 return Err(KeraError::StreamExists(req.config.id));
             }
-            let alive = Self::alive_brokers(&st);
+            let alive = view.alive_brokers();
             if alive.is_empty() {
                 return Err(KeraError::NoCapacity("no alive brokers".into()));
             }
@@ -82,14 +756,16 @@ impl CoordinatorService {
             // paper's "streams equally distributed over four brokers".
             let placements: Vec<StreamletPlacement> = (0..req.config.streamlets)
                 .map(|i| StreamletPlacement {
-                    streamlet: kera_common::ids::StreamletId(i),
+                    streamlet: StreamletId(i),
                     broker: alive[i as usize % alive.len()],
                 })
                 .collect();
             let metadata = StreamMetadata { config: req.config.clone(), placements };
-            st.streams.insert(req.config.id, metadata.clone());
-            metadata
+            let term = st.election.term();
+            let rec = st.log.append(term, MetaOp::CreateStream { metadata: metadata.clone() });
+            (rec.index, metadata)
         };
+        self.replicate_to_commit(index, self.op_deadline(ctx))?;
         self.push_hosting(&metadata, None)?;
         Ok(metadata)
     }
@@ -112,8 +788,7 @@ impl CoordinatorService {
         let calls: Vec<_> = per_broker
             .into_iter()
             .map(|(broker, assignments)| {
-                let req =
-                    HostStreamRequest { metadata: metadata.clone(), assignments };
+                let req = HostStreamRequest { metadata: metadata.clone(), assignments };
                 client.call_async(broker, OpCode::HostStream, req.encode())
             })
             .collect();
@@ -123,16 +798,21 @@ impl CoordinatorService {
         Ok(())
     }
 
-    /// Deletes a stream: drops the metadata and tells every broker that
-    /// hosted its streamlets to unhost them (freeing dedicated virtual
-    /// logs and their backup segments).
-    fn handle_delete(&self, stream: StreamId) -> Result<()> {
-        let metadata = self
-            .state
-            .lock()
-            .streams
-            .remove(&stream)
-            .ok_or(KeraError::UnknownStream(stream))?;
+    /// Deletes a stream: commits the removal, then tells every broker
+    /// that hosted its streamlets to unhost them (freeing dedicated
+    /// virtual logs and their backup segments).
+    fn handle_delete(&self, ctx: &RequestContext, stream: StreamId) -> Result<()> {
+        let (index, metadata) = {
+            let mut st = self.replica.lock();
+            self.require_leader(&st)?;
+            let view = Self::preview(&st);
+            let metadata =
+                view.streams.get(&stream).cloned().ok_or(KeraError::UnknownStream(stream))?;
+            let term = st.election.term();
+            let rec = st.log.append(term, MetaOp::DeleteStream { stream });
+            (rec.index, metadata)
+        };
+        self.replicate_to_commit(index, self.op_deadline(ctx))?;
         let client = self.client()?;
         let mut payload_w = Writer::new();
         payload_w.u32(stream.raw());
@@ -149,65 +829,82 @@ impl CoordinatorService {
     }
 
     fn handle_metadata(&self, req: GetMetadataRequest) -> Result<StreamMetadata> {
-        self.state
-            .lock()
-            .streams
-            .get(&req.stream)
-            .cloned()
-            .ok_or(KeraError::UnknownStream(req.stream))
+        let st = self.replica.lock();
+        self.require_leader(&st)?;
+        st.state.streams.get(&req.stream).cloned().ok_or(KeraError::UnknownStream(req.stream))
     }
 
     /// Marks `dead` crashed and reassigns its streamlets to survivors.
-    /// Returns the reassignments; the caller (recovery manager) replays
-    /// the data from backups afterwards.
-    fn handle_crash(&self, req: ReportCrashRequest) -> Result<CrashReassignmentResponse> {
-        let (reassigned, metas) = {
-            let mut st = self.state.lock();
-            st.dead.insert(req.node);
-            let alive = Self::alive_brokers(&st);
+    /// The reassignment list is computed once by the leader and carried
+    /// in the committed record, so every replica applies the identical
+    /// decision. Returns the reassignments; the caller (recovery
+    /// manager) replays the data from backups afterwards.
+    fn handle_crash(
+        &self,
+        ctx: &RequestContext,
+        req: ReportCrashRequest,
+    ) -> Result<CrashReassignmentResponse> {
+        let (index, reassignments, metas) = {
+            let mut st = self.replica.lock();
+            self.require_leader(&st)?;
+            let mut view = Self::preview(&st);
+            view.dead.insert(req.node);
+            let alive = view.alive_brokers();
             if alive.is_empty() {
                 return Err(KeraError::NoCapacity("no alive brokers left".into()));
             }
-            let mut reassigned = Vec::new();
-            let mut metas: Vec<StreamMetadata> = Vec::new();
+            // Deterministic order (sorted stream ids, placement order
+            // within a stream) so the decided record is reproducible.
+            let mut ids: Vec<StreamId> = view.streams.keys().copied().collect();
+            ids.sort_unstable();
+            let mut reassignments = Vec::new();
             let mut rr = 0usize;
-            for meta in st.streams.values_mut() {
-                let mut touched = false;
-                for p in meta.placements.iter_mut() {
+            for id in &ids {
+                for p in &view.streams[id].placements {
                     if p.broker == req.node {
-                        p.broker = alive[rr % alive.len()];
-                        rr += 1;
-                        touched = true;
-                        reassigned.push(Reassignment {
-                            stream: meta.config.id,
+                        reassignments.push(Reassignment {
+                            stream: *id,
                             streamlet: p.streamlet,
-                            new_broker: p.broker,
+                            new_broker: alive[rr % alive.len()],
                         });
+                        rr += 1;
                     }
                 }
-                if touched {
-                    metas.push(meta.clone());
-                }
             }
-            (reassigned, metas)
+            let op = MetaOp::MarkDead { node: req.node, reassignments: reassignments.clone() };
+            view.apply(&op);
+            let mut touched: Vec<StreamId> =
+                reassignments.iter().map(|r| r.stream).collect();
+            touched.sort_unstable();
+            touched.dedup();
+            let metas: Vec<StreamMetadata> =
+                touched.iter().map(|id| view.streams[id].clone()).collect();
+            let term = st.election.term();
+            let rec = st.log.append(term, op);
+            (rec.index, reassignments, metas)
         };
+        self.replicate_to_commit(index, self.op_deadline(ctx))?;
         // Tell the new owners to host their inherited streamlets.
         for meta in &metas {
             for broker in meta.brokers() {
                 self.push_hosting(meta, Some(broker))?;
             }
         }
-        Ok(CrashReassignmentResponse { reassignments: reassigned })
+        Ok(CrashReassignmentResponse { reassignments })
     }
 }
 
 impl Service for CoordinatorService {
     fn handle(&self, ctx: &RequestContext, payload: Bytes) -> Result<Bytes> {
+        self.wait_if_frozen(ctx)?;
         match ctx.opcode {
             OpCode::Ping => Ok(Bytes::new()),
+            OpCode::RequestVote => self.handle_vote(&payload),
+            OpCode::MetaAppend => self.handle_append(&payload),
+            OpCode::GetLeader => self.handle_get_leader(),
             OpCode::CreateStream => {
                 let req = CreateStreamRequest::decode(&payload)?;
-                Ok(self.handle_create(req)?.encode())
+                Ok(self.handle_create(ctx, req)?.encode())
             }
             OpCode::GetMetadata => {
                 let req = GetMetadataRequest::decode(&payload)?;
@@ -215,14 +912,20 @@ impl Service for CoordinatorService {
             }
             OpCode::ReportCrash => {
                 let req = ReportCrashRequest::decode(&payload)?;
-                Ok(self.handle_crash(req)?.encode())
+                Ok(self.handle_crash(ctx, req)?.encode())
             }
             OpCode::DeleteStream => {
                 let stream = StreamId(Reader::new(&payload).u32()?);
-                self.handle_delete(stream)?;
+                self.handle_delete(ctx, stream)?;
                 Ok(Bytes::new())
             }
             other => Err(KeraError::Protocol(format!("coordinator cannot serve {other:?}"))),
         }
+    }
+}
+
+impl Drop for CoordinatorService {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
     }
 }

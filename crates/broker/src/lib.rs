@@ -11,7 +11,12 @@
 //! - [`channel`] — [`channel::RpcBackupChannel`]: fans one replication
 //!   batch out to all of a virtual segment's backups in parallel;
 //! - [`coordinator`] — stream creation, streamlet placement, metadata
-//!   service and crash-time reassignment;
+//!   service and crash-time reassignment, replicated over a quorum of
+//!   coordinator replicas via the metadata log;
+//! - [`election`] — the pure leader-election state machine (terms,
+//!   quorum votes, log-freshness checks) the coordinator replicas run;
+//! - [`metalog`] — the replicated metadata log and the deterministic
+//!   state machine folded from its committed prefix;
 //! - [`cluster`] — [`cluster::KeraCluster`]: spawns a whole cluster
 //!   (coordinator + brokers + backups) on an in-memory network, the way
 //!   the paper deploys one broker + one backup service per node.
@@ -21,5 +26,7 @@ pub mod broker;
 pub mod channel;
 pub mod cluster;
 pub mod coordinator;
+pub mod election;
+pub mod metalog;
 
 pub use cluster::KeraCluster;

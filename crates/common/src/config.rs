@@ -284,6 +284,79 @@ impl FaultProfile {
     }
 }
 
+/// Replicated-coordinator configuration: how many replicas hold the
+/// metadata log and the timers driving failure detection and election.
+///
+/// With `replicas == 1` (the default) the sole coordinator starts as the
+/// leader of term 1 immediately and no election traffic is generated —
+/// the pre-replication behaviour. With more replicas, the leader
+/// heartbeats every `heartbeat_interval` (piggybacked on metadata-log
+/// appends), and a follower that hears nothing for a randomized window
+/// in `[election_timeout_min, election_timeout_max]` bumps its term and
+/// solicits quorum votes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoordinatorConfig {
+    /// Number of coordinator replicas (`1` = single node, no elections).
+    pub replicas: u32,
+    /// Leader → follower heartbeat/append cadence.
+    pub heartbeat_interval: std::time::Duration,
+    /// Lower bound of the randomized election timeout. Must comfortably
+    /// exceed `heartbeat_interval` so healthy leaders are never deposed.
+    pub election_timeout_min: std::time::Duration,
+    /// Upper bound of the randomized election timeout; the spread breaks
+    /// split-vote ties.
+    pub election_timeout_max: std::time::Duration,
+    /// Metadata-log length that triggers a snapshot + log truncation.
+    pub snapshot_threshold: usize,
+    /// Seed for each replica's election-jitter RNG (mixed with its node
+    /// id, so replicas draw distinct but reproducible timeouts).
+    pub seed: u64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 1,
+            heartbeat_interval: std::time::Duration::from_millis(25),
+            election_timeout_min: std::time::Duration::from_millis(150),
+            election_timeout_max: std::time::Duration::from_millis(300),
+            snapshot_threshold: 256,
+            seed: 0xC0D1_0E1E,
+        }
+    }
+}
+
+impl CoordinatorConfig {
+    /// Quorum size for the configured replica count (majority).
+    #[inline]
+    pub fn quorum(&self) -> u32 {
+        self.replicas / 2 + 1
+    }
+
+    pub fn validate(&self) -> Result<()> {
+        if self.replicas == 0 {
+            return Err(KeraError::InvalidConfig("coordinator needs at least one replica".into()));
+        }
+        if self.heartbeat_interval.is_zero() {
+            return Err(KeraError::InvalidConfig("heartbeat interval must be > 0".into()));
+        }
+        if self.election_timeout_min < self.heartbeat_interval * 2 {
+            return Err(KeraError::InvalidConfig(
+                "election timeout min must be at least 2x the heartbeat interval".into(),
+            ));
+        }
+        if self.election_timeout_max < self.election_timeout_min {
+            return Err(KeraError::InvalidConfig(
+                "election timeout max must be >= election timeout min".into(),
+            ));
+        }
+        if self.snapshot_threshold == 0 {
+            return Err(KeraError::InvalidConfig("snapshot threshold must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
 /// Default cap on a single RPC frame accepted by stream transports.
 /// Large enough for a max-size produce batch, small enough that a
 /// corrupt or hostile length prefix cannot trigger a giant allocation.
@@ -329,6 +402,8 @@ pub struct ClusterConfig {
     pub retry: RetryPolicy,
     /// Fault-injection profile; `None` runs the cluster fault-free.
     pub faults: Option<FaultProfile>,
+    /// Replicated-coordinator shape and timers.
+    pub coordinator: CoordinatorConfig,
     /// Largest RPC frame a stream transport will accept before dropping
     /// the connection (guards against corrupt/hostile length prefixes).
     pub max_frame_bytes: usize,
@@ -350,6 +425,7 @@ impl Default for ClusterConfig {
             flush_dir: None,
             retry: RetryPolicy::default(),
             faults: None,
+            coordinator: CoordinatorConfig::default(),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             observability: true,
         }
@@ -368,6 +444,7 @@ impl ClusterConfig {
         if let Some(faults) = &self.faults {
             faults.validate()?;
         }
+        self.coordinator.validate()?;
         if self.max_frame_bytes < 1024 {
             return Err(KeraError::InvalidConfig(
                 "max_frame_bytes must allow at least a small frame (>= 1024)".into(),
@@ -417,6 +494,36 @@ mod tests {
 
         let c = ClusterConfig { max_frame_bytes: 16, ..ClusterConfig::default() };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn coordinator_config_validation_and_quorum() {
+        let c = CoordinatorConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.quorum(), 1);
+        assert_eq!(CoordinatorConfig { replicas: 3, ..c }.quorum(), 2);
+        assert_eq!(CoordinatorConfig { replicas: 5, ..c }.quorum(), 3);
+
+        assert!(CoordinatorConfig { replicas: 0, ..c }.validate().is_err());
+        assert!(CoordinatorConfig {
+            election_timeout_min: c.heartbeat_interval, // < 2x heartbeat
+            ..c
+        }
+        .validate()
+        .is_err());
+        assert!(CoordinatorConfig {
+            election_timeout_max: std::time::Duration::from_millis(1),
+            ..c
+        }
+        .validate()
+        .is_err());
+        assert!(CoordinatorConfig { snapshot_threshold: 0, ..c }.validate().is_err());
+
+        let cluster = ClusterConfig {
+            coordinator: CoordinatorConfig { replicas: 0, ..CoordinatorConfig::default() },
+            ..ClusterConfig::default()
+        };
+        assert!(cluster.validate().is_err());
     }
 
     #[test]

@@ -50,11 +50,24 @@ pub enum KeraError {
     Recovery(String),
     /// Invalid user-supplied configuration.
     InvalidConfig(String),
+    /// The coordinator replica addressed is not the current leader. The
+    /// caller should re-issue the request against `hint` (the leader the
+    /// replica last heard from, if any) rather than blindly retrying.
+    NotLeader {
+        /// Best-known leader, if the replica has heard from one this term.
+        hint: Option<NodeId>,
+        /// The replica's current term, so stale hints can be ranked.
+        term: u64,
+    },
 }
 
 impl KeraError {
     /// True when the operation may be safely retried by the client
     /// (idempotent chunk tagging makes produce retries exactly-once).
+    ///
+    /// `NotLeader` is deliberately *not* retriable: retrying the same
+    /// replica cannot succeed — the caller must re-resolve the leader
+    /// (see `RpcClient::call_leader`) and redirect.
     pub fn is_retriable(&self) -> bool {
         matches!(
             self,
@@ -85,6 +98,12 @@ impl fmt::Display for KeraError {
             KeraError::ShuttingDown => write!(f, "node is shutting down"),
             KeraError::Recovery(msg) => write!(f, "recovery failure: {msg}"),
             KeraError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            KeraError::NotLeader { hint: Some(n), term } => {
+                write!(f, "not the leader (term {term}, try {n})")
+            }
+            KeraError::NotLeader { hint: None, term } => {
+                write!(f, "not the leader (term {term}, leader unknown)")
+            }
         }
     }
 }
@@ -125,6 +144,17 @@ mod tests {
         assert!(KeraError::Disconnected(NodeId(3)).is_retriable());
         assert!(!KeraError::UnknownStream(StreamId(1)).is_retriable());
         assert!(!KeraError::Protocol("x".into()).is_retriable());
+        // NotLeader requires re-resolution, not a same-node retry.
+        assert!(!KeraError::NotLeader { hint: Some(NodeId(3)), term: 2 }.is_retriable());
+    }
+
+    #[test]
+    fn not_leader_display() {
+        let e = KeraError::NotLeader { hint: Some(NodeId(3000)), term: 7 };
+        assert!(e.to_string().contains("term 7"));
+        assert!(e.to_string().contains("NodeId(3000)"));
+        let e = KeraError::NotLeader { hint: None, term: 1 };
+        assert!(e.to_string().contains("leader unknown"));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use kera_client::consumer::{Consumer, ConsumerConfig, Subscription};
 use kera_client::producer::{Producer, ProducerConfig};
 use kera_client::{MetadataClient, Partitioner};
 use kera_common::config::{
-    ClusterConfig, ReplicationConfig, StreamConfig, VirtualLogPolicy,
+    ClusterConfig, CoordinatorConfig, ReplicationConfig, StreamConfig, VirtualLogPolicy,
 };
 use kera_common::ids::{ConsumerId, NodeId, ProducerId, StreamId, StreamletId};
 use kera_common::Result;
@@ -91,6 +91,11 @@ pub struct ExperimentConfig {
     /// default; `KERA_OBS=0` turns it off for overhead comparisons.
     /// Metrics counters work either way.
     pub observability: bool,
+    /// Coordinator replicas (KerA only; 1 = the historical single
+    /// coordinator, 3 = the replicated metadata plane of DESIGN.md §10).
+    /// `KERA_COORD_REPLICAS` overrides, so every figure harness run
+    /// works unchanged against a replicated coordinator.
+    pub coordinator_replicas: u32,
 }
 
 impl Default for ExperimentConfig {
@@ -118,6 +123,7 @@ impl Default for ExperimentConfig {
             producer_pipeline: 1,
             io_cost_ns: env_usize("KERA_IO_COST_NS", 30_000) as u64,
             observability: env_flag("KERA_OBS", true),
+            coordinator_replicas: env_usize("KERA_COORD_REPLICAS", 1) as u32,
         }
     }
 }
@@ -232,10 +238,12 @@ enum Cluster {
 }
 
 impl Cluster {
-    fn coordinator(&self) -> NodeId {
+    /// All coordinator replicas (single-element unless the KerA
+    /// coordinator is replicated).
+    fn coordinators(&self) -> Vec<NodeId> {
         match self {
-            Cluster::Kera(c) => c.coordinator(),
-            Cluster::Kafka(c) => c.coordinator(),
+            Cluster::Kera(c) => c.coordinators(),
+            Cluster::Kafka(c) => c.coordinators(),
         }
     }
 
@@ -268,6 +276,10 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Measurement> {
         worker_threads: cfg.worker_threads,
         io_cost_ns: cfg.io_cost_ns,
         observability: cfg.observability,
+        coordinator: CoordinatorConfig {
+            replicas: cfg.coordinator_replicas,
+            ..CoordinatorConfig::default()
+        },
         ..ClusterConfig::default()
     };
     let cluster = match cfg.system {
@@ -285,7 +297,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Measurement> {
 
     // Create all streams through one admin client.
     let admin_rt = cluster.client(cfg.producers + cfg.consumers);
-    let admin = MetadataClient::new(admin_rt.client(), cluster.coordinator());
+    let admin = MetadataClient::with_replicas(admin_rt.client(), cluster.coordinators());
     let stream_ids: Vec<StreamId> = (1..=cfg.streams).map(StreamId).collect();
     for &s in &stream_ids {
         admin.create_stream(cfg.stream_config(s.raw()))?;
@@ -300,7 +312,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Measurement> {
     let mut producer_rts = Vec::new();
     for p in 0..cfg.producers {
         let rt = cluster.client(p);
-        let meta = MetadataClient::new(rt.client(), cluster.coordinator());
+        let meta = MetadataClient::with_replicas(rt.client(), cluster.coordinators());
         let producer = Arc::new(Producer::new(
             &meta,
             &stream_ids,
@@ -358,7 +370,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Measurement> {
         }
         for c in 0..cfg.consumers {
             let rt = cluster.client(cfg.producers + c);
-            let meta = MetadataClient::new(rt.client(), cluster.coordinator());
+            let meta = MetadataClient::with_replicas(rt.client(), cluster.coordinators());
             let mut by_stream: std::collections::HashMap<StreamId, Vec<StreamletId>> =
                 std::collections::HashMap::new();
             for (i, &(s, sl)) in pairs.iter().enumerate() {
@@ -532,6 +544,25 @@ mod tests {
             assert!(stages.contains(&want), "missing stage {want} in {stages:?}");
         }
         assert!(m.metrics_json.contains("kera.broker.records_in"), "metrics dump populated");
+    }
+
+    /// Acceptance for DESIGN.md §10: the figure harness runs unchanged
+    /// against a 3-replica coordinator — stream creation and metadata
+    /// lookups route to whichever replica leads, and throughput is
+    /// measured exactly as in single-coordinator mode.
+    #[test]
+    fn kera_experiment_runs_against_replicated_coordinator() {
+        let mut cfg = ExperimentConfig {
+            streams: 2,
+            replication_factor: 2,
+            chunk_size: 1024,
+            coordinator_replicas: 3,
+            ..ExperimentConfig::default()
+        };
+        quick(&mut cfg);
+        let m = run_experiment(&cfg).unwrap();
+        assert!(m.produce_rate > 0.0, "no throughput with replicated coordinator: {m:?}");
+        assert_eq!(m.failed_requests, 0);
     }
 
     #[test]

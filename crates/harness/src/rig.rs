@@ -44,6 +44,10 @@ impl BenchRig {
             worker_threads: cfg.worker_threads,
             io_cost_ns: cfg.io_cost_ns,
             observability: cfg.observability,
+            coordinator: kera_common::config::CoordinatorConfig {
+                replicas: cfg.coordinator_replicas,
+                ..kera_common::config::CoordinatorConfig::default()
+            },
             ..ClusterConfig::default()
         };
         let cluster = match cfg.system {
@@ -57,13 +61,13 @@ impl BenchRig {
             AnyCluster::Kera(c) => c.client(i),
             AnyCluster::Kafka(c) => c.client(i),
         };
-        let coordinator = match &cluster {
-            AnyCluster::Kera(c) => c.coordinator(),
-            AnyCluster::Kafka(c) => c.coordinator(),
+        let coordinators = match &cluster {
+            AnyCluster::Kera(c) => c.coordinators(),
+            AnyCluster::Kafka(c) => c.coordinators(),
         };
 
         let admin_rt = client(cfg.producers);
-        let admin = MetadataClient::new(admin_rt.client(), coordinator);
+        let admin = MetadataClient::with_replicas(admin_rt.client(), coordinators.clone());
         let streams: Vec<StreamId> = (1..=cfg.streams).map(StreamId).collect();
         for &s in &streams {
             admin.create_stream(cfg.stream_config(s.raw()))?;
@@ -73,7 +77,7 @@ impl BenchRig {
         let mut rts = vec![admin_rt];
         for p in 0..cfg.producers {
             let rt = client(p);
-            let meta = MetadataClient::new(rt.client(), coordinator);
+            let meta = MetadataClient::with_replicas(rt.client(), coordinators.clone());
             producers.push(Arc::new(Producer::new(
                 &meta,
                 &streams,

@@ -172,6 +172,12 @@ impl KafkaCluster {
         COORDINATOR
     }
 
+    /// The Kafka-sim coordinator is never replicated; this exists so
+    /// replica-aware harness code treats both systems uniformly.
+    pub fn coordinators(&self) -> Vec<NodeId> {
+        vec![COORDINATOR]
+    }
+
     pub fn brokers(&self) -> Vec<NodeId> {
         (0..self.config.brokers).map(broker_node).collect()
     }

@@ -153,22 +153,16 @@ impl MetricsRegistry {
     }
 
     /// Point-in-time copy of every registered metric.
+    ///
+    /// One map lock at a time: the three maps share the `obs.registry`
+    /// lock class, and same-class nesting is a lockdep violation — each
+    /// guard must drop before the next is taken.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        RegistrySnapshot {
-            counters: self
-                .counters
-                .lock()
-                .iter()
-                .map(|(k, c)| (k.clone(), c.get()))
-                .collect(),
-            gauges: self.gauges.lock().iter().map(|(k, g)| (k.clone(), g.get())).collect(),
-            histograms: self
-                .histograms
-                .lock()
-                .iter()
-                .map(|(k, h)| (k.clone(), h.snapshot()))
-                .collect(),
-        }
+        let counters = self.counters.lock().iter().map(|(k, c)| (k.clone(), c.get())).collect();
+        let gauges = self.gauges.lock().iter().map(|(k, g)| (k.clone(), g.get())).collect();
+        let histograms =
+            self.histograms.lock().iter().map(|(k, h)| (k.clone(), h.snapshot())).collect();
+        RegistrySnapshot { counters, gauges, histograms }
     }
 }
 

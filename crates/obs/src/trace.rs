@@ -94,10 +94,21 @@ pub enum Stage {
     Flush = 9,
     /// Server dropped a request whose deadline had already passed.
     RpcExpired = 10,
+    /// Coordinator replica: one vote round (candidacy through outcome).
+    ElectionVote = 11,
+    /// A replica won an election and became leader (instant event;
+    /// aux = the new term).
+    ElectionWon = 12,
+    /// A follower's election timer fired with no leader heartbeat
+    /// (instant event; aux = the term it is abandoning).
+    ElectionTimeout = 13,
+    /// A leader stepped down after seeing a higher term or losing its
+    /// quorum (instant event; aux = the deposed term).
+    ElectionStepdown = 14,
 }
 
 /// Number of distinct stages (dense, 1-based).
-pub const STAGE_COUNT: usize = 10;
+pub const STAGE_COUNT: usize = 14;
 
 impl Stage {
     pub const ALL: [Stage; STAGE_COUNT] = [
@@ -111,6 +122,10 @@ impl Stage {
         Stage::BackupWrite,
         Stage::Flush,
         Stage::RpcExpired,
+        Stage::ElectionVote,
+        Stage::ElectionWon,
+        Stage::ElectionTimeout,
+        Stage::ElectionStepdown,
     ];
 
     pub fn name(self) -> &'static str {
@@ -125,6 +140,10 @@ impl Stage {
             Stage::BackupWrite => "backup_write",
             Stage::Flush => "flush",
             Stage::RpcExpired => "rpc_expired",
+            Stage::ElectionVote => "election_vote",
+            Stage::ElectionWon => "election_won",
+            Stage::ElectionTimeout => "election_timeout",
+            Stage::ElectionStepdown => "election_stepdown",
         }
     }
 

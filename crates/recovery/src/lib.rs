@@ -78,7 +78,9 @@ impl Default for RecoveryConfig {
 /// Drives recovery of a crashed broker.
 pub struct RecoveryManager {
     rpc: RpcClient,
-    coordinator: NodeId,
+    /// Coordinator replica set; calls go to whichever currently leads
+    /// (single-element for an unreplicated coordinator).
+    coordinators: Vec<NodeId>,
     /// All backup services in the cluster (the manager asks each what it
     /// holds; dead ones are skipped).
     backups: Vec<NodeId>,
@@ -102,7 +104,26 @@ impl RecoveryManager {
         backups: Vec<NodeId>,
         cfg: RecoveryConfig,
     ) -> Self {
-        Self { rpc, coordinator, backups, cfg }
+        Self { rpc, coordinators: vec![coordinator], backups, cfg }
+    }
+
+    /// Replica-aware constructor for clusters with a replicated
+    /// coordinator: crash reports and metadata lookups follow the
+    /// current leader across failovers.
+    pub fn with_coordinators(
+        rpc: RpcClient,
+        coordinators: Vec<NodeId>,
+        backups: Vec<NodeId>,
+        cfg: RecoveryConfig,
+    ) -> Self {
+        Self { rpc, coordinators, backups, cfg }
+    }
+
+    /// Coordinator call through whichever replica currently leads.
+    fn call_coordinator(&self, opcode: OpCode, payload: Bytes) -> Result<Bytes> {
+        let (resp, _) =
+            self.rpc.call_leader(&self.coordinators, None, opcode, payload, self.cfg.call_timeout)?;
+        Ok(resp)
     }
 
     /// Recovers `crashed`: reassign, enumerate, read, replay. Returns a
@@ -111,12 +132,8 @@ impl RecoveryManager {
         let started = Instant::now();
 
         // 1. Reassignment.
-        let resp = self.rpc.call(
-            self.coordinator,
-            OpCode::ReportCrash,
-            ReportCrashRequest { node: crashed }.encode(),
-            self.cfg.call_timeout,
-        )?;
+        let resp =
+            self.call_coordinator(OpCode::ReportCrash, ReportCrashRequest { node: crashed }.encode())?;
         let reassignments = CrashReassignmentResponse::decode(&resp)?;
         let new_owner: HashMap<(StreamId, StreamletId), NodeId> = reassignments
             .reassignments
@@ -202,11 +219,9 @@ impl RecoveryManager {
                         if let std::collections::hash_map::Entry::Vacant(slot) =
                             meta_cache.entry(h.stream)
                         {
-                            let payload = self.rpc.call(
-                                self.coordinator,
+                            let payload = self.call_coordinator(
                                 OpCode::GetMetadata,
                                 GetMetadataRequest { stream: h.stream }.encode(),
-                                self.cfg.call_timeout,
                             )?;
                             slot.insert(StreamMetadata::decode(&payload)?);
                         }

@@ -33,5 +33,5 @@ pub mod transport;
 pub use faults::{FaultInjector, FaultPlan};
 pub use inmem::InMemNetwork;
 pub use network::{AnyNetwork, TransportKind};
-pub use node::{NodeRuntime, NullService, RequestContext, RpcClient, Service};
+pub use node::{NodeRuntime, NullService, PendingCall, RequestContext, RpcClient, Service};
 pub use transport::Transport;

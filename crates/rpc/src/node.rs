@@ -628,6 +628,78 @@ impl RpcClient {
         self.issue(to, opcode, payload, false).wait(timeout)
     }
 
+    /// Calls whichever of `replicas` currently leads the replicated
+    /// coordinator, following `NotLeader` redirects and riding out
+    /// election windows until `timeout` expires.
+    ///
+    /// Probing starts at `preferred` (the caller's cached leader) and
+    /// rotates through the replica set: a `NotLeader` response jumps to
+    /// the replica's hint when it has one, a delivery failure (timeout,
+    /// disconnect, shutdown) moves to the next replica, and any other
+    /// error status proves the handler executed and is returned as-is.
+    /// After a full fruitless rotation the probe sleeps briefly so an
+    /// in-flight election can finish instead of being hammered.
+    ///
+    /// Returns the response payload and the node that served it, so the
+    /// caller can cache the leader for its next call.
+    pub fn call_leader(
+        &self,
+        replicas: &[NodeId],
+        preferred: Option<NodeId>,
+        opcode: OpCode,
+        payload: Bytes,
+        timeout: Duration,
+    ) -> Result<(Bytes, NodeId)> {
+        if replicas.is_empty() {
+            return Err(KeraError::InvalidConfig("no coordinator replicas to call".into()));
+        }
+        let deadline = Instant::now() + timeout;
+        // Cap each probe so a dead or partitioned replica cannot eat the
+        // whole budget; `call` still retransmits within the probe.
+        let probe_budget = self.inner.retry.attempt_timeout.max(Duration::from_millis(100));
+        let mut target = preferred
+            .and_then(|p| replicas.iter().position(|&r| r == p))
+            .unwrap_or(0);
+        let mut probes_since_progress = 0usize;
+        let mut last_err = KeraError::Timeout { op: "call_leader" };
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(last_err);
+            }
+            let to = replicas[target];
+            match self.call(to, opcode, payload.clone(), remaining.min(probe_budget)) {
+                Ok(bytes) => return Ok((bytes, to)),
+                Err(KeraError::NotLeader { hint, term: _ }) => {
+                    last_err = KeraError::NotLeader { hint, term: 0 };
+                    probes_since_progress += 1;
+                    // Follow the hint when it points somewhere new;
+                    // otherwise round-robin past the stale replica.
+                    target = match hint.and_then(|h| replicas.iter().position(|&r| r == h)) {
+                        Some(h) if h != target => h,
+                        _ => (target + 1) % replicas.len(),
+                    };
+                }
+                Err(e) if e.is_retriable() => {
+                    last_err = e;
+                    probes_since_progress += 1;
+                    target = (target + 1) % replicas.len();
+                }
+                Err(e) => return Err(e),
+            }
+            if probes_since_progress >= replicas.len() {
+                // A whole rotation without a leader: an election is in
+                // flight. Yield a heartbeat-scale beat before re-probing.
+                probes_since_progress = 0;
+                let nap = Duration::from_millis(10)
+                    .min(deadline.saturating_duration_since(Instant::now()));
+                if !nap.is_zero() {
+                    std::thread::sleep(nap);
+                }
+            }
+        }
+    }
+
     /// The retry policy this client applies in [`RpcClient::call`].
     pub fn retry_policy(&self) -> RetryPolicy {
         self.inner.retry

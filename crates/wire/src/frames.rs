@@ -49,6 +49,13 @@ pub enum OpCode {
     /// Broker: translate a logical record offset into a slot cursor
     /// (lightweight offset index lookup).
     Seek = 15,
+    /// Coordinator replica → replica: solicit a vote for a new term.
+    RequestVote = 16,
+    /// Coordinator leader → follower: replicate a slice of the metadata
+    /// log (doubles as the leader heartbeat when the slice is empty).
+    MetaAppend = 17,
+    /// Any node → coordinator replica: who is the leader right now?
+    GetLeader = 18,
 }
 
 impl OpCode {
@@ -71,6 +78,9 @@ impl OpCode {
             13 => HostStream,
             14 => DeleteStream,
             15 => Seek,
+            16 => RequestVote,
+            17 => MetaAppend,
+            18 => GetLeader,
             _ => return Err(KeraError::Protocol(format!("unknown opcode {v}"))),
         })
     }
@@ -93,6 +103,7 @@ pub enum StatusCode {
     Protocol = 9,
     Recovery = 10,
     Internal = 11,
+    NotLeader = 12,
 }
 
 impl StatusCode {
@@ -110,6 +121,7 @@ impl StatusCode {
             9 => StatusCode::Protocol,
             10 => StatusCode::Recovery,
             11 => StatusCode::Internal,
+            12 => StatusCode::NotLeader,
             _ => return Err(KeraError::Protocol(format!("unknown status {v}"))),
         })
     }
@@ -128,6 +140,7 @@ pub fn status_for_error(e: &KeraError) -> StatusCode {
         KeraError::ShuttingDown => StatusCode::ShuttingDown,
         KeraError::Protocol(_) => StatusCode::Protocol,
         KeraError::Recovery(_) => StatusCode::Recovery,
+        KeraError::NotLeader { .. } => StatusCode::NotLeader,
         _ => StatusCode::Internal,
     }
 }
@@ -143,6 +156,9 @@ pub fn error_for_status(status: StatusCode, message: &str) -> KeraError {
         StatusCode::Corruption => {
             KeraError::Corruption { what: "remote", expected: 0, actual: 0 }
         }
+        // The structured hint/term ride after the message in the payload;
+        // callers that only have the message fall back to "unknown".
+        StatusCode::NotLeader => KeraError::NotLeader { hint: None, term: 0 },
         _ => KeraError::Protocol(format!("{status:?}: {message}")),
     }
 }
@@ -233,9 +249,15 @@ impl Envelope {
     }
 
     /// An error response carrying the error's message as payload.
+    /// `NotLeader` additionally carries its redirect hint and term after
+    /// the message (hint `u32::MAX` = no known leader), so the client can
+    /// re-resolve without string parsing.
     pub fn error_response(opcode: OpCode, request_id: u64, from: NodeId, e: &KeraError) -> Self {
         let mut w = Writer::new();
         w.string(&e.to_string());
+        if let KeraError::NotLeader { hint, term } = e {
+            w.u32(hint.map_or(u32::MAX, NodeId::raw)).u64(*term);
+        }
         Self::response(opcode, request_id, from, status_for_error(e), w.finish())
     }
 
@@ -301,7 +323,18 @@ impl Envelope {
         if self.status == StatusCode::Ok {
             return Ok(());
         }
-        let msg = Reader::new(&self.payload).string().unwrap_or_default();
+        let mut r = Reader::new(&self.payload);
+        let msg = r.string().unwrap_or_default();
+        if self.status == StatusCode::NotLeader {
+            // A malformed/legacy payload degrades to "leader unknown"
+            // rather than a decode error — the caller re-resolves anyway.
+            let hint = match r.u32() {
+                Ok(u32::MAX) | Err(_) => None,
+                Ok(raw) => Some(NodeId(raw)),
+            };
+            let term = r.u64().unwrap_or(0);
+            return Err(KeraError::NotLeader { hint, term });
+        }
         Err(error_for_status(self.status, &msg))
     }
 }
@@ -312,7 +345,7 @@ mod tests {
 
     #[test]
     fn opcode_roundtrip() {
-        for v in 0..=15u8 {
+        for v in 0..=18u8 {
             let op = OpCode::from_u8(v).unwrap();
             assert_eq!(op as u8, v);
         }
@@ -321,7 +354,7 @@ mod tests {
 
     #[test]
     fn status_roundtrip() {
-        for v in 0..=11u8 {
+        for v in 0..=12u8 {
             let s = StatusCode::from_u8(v).unwrap();
             assert_eq!(s as u8, v);
         }
@@ -361,6 +394,31 @@ mod tests {
         let err = env.check_status().unwrap_err();
         match err {
             KeraError::NoCapacity(msg) => assert!(msg.contains("only 1 backup")),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn not_leader_roundtrips_hint_and_term() {
+        let e = KeraError::NotLeader { hint: Some(NodeId(3001)), term: 9 };
+        let env = Envelope::error_response(OpCode::CreateStream, 8, NodeId(3000), &e);
+        assert_eq!(env.status, StatusCode::NotLeader);
+        match env.check_status().unwrap_err() {
+            KeraError::NotLeader { hint, term } => {
+                assert_eq!(hint, Some(NodeId(3001)));
+                assert_eq!(term, 9);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+
+        // No known leader: the sentinel survives the trip as None.
+        let e = KeraError::NotLeader { hint: None, term: 3 };
+        let env = Envelope::error_response(OpCode::GetMetadata, 9, NodeId(3000), &e);
+        match env.check_status().unwrap_err() {
+            KeraError::NotLeader { hint, term } => {
+                assert_eq!(hint, None);
+                assert_eq!(term, 3);
+            }
             other => panic!("wrong error: {other}"),
         }
     }

@@ -14,7 +14,9 @@
 //! - [`cursor`] — consumer cursors addressing a position inside a
 //!   streamlet's chain of groups and segments;
 //! - [`messages`] — typed encode/decode for every RPC body (produce,
-//!   fetch, metadata, backup writes, follower fetch, recovery).
+//!   fetch, metadata, backup writes, follower fetch, recovery);
+//! - [`meta`] — the coordinator's metadata-log records, snapshots and
+//!   the election/log-replication bodies (DESIGN.md §10).
 //!
 //! All multi-byte integers are little-endian. Clients and brokers share
 //! these formats so chunks flow from producer buffers into broker segments
@@ -26,4 +28,5 @@ pub mod codec;
 pub mod cursor;
 pub mod frames;
 pub mod messages;
+pub mod meta;
 pub mod record;

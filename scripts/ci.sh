@@ -21,6 +21,20 @@ if ! KERA_FLIGHTREC=1 cargo test -q --features deadlock-detect --test chaos --te
   exit 1
 fi
 
+# Coordinator failover drills (DESIGN.md §10), run by name so a refactor
+# that renames or drops them fails loudly instead of silently shrinking
+# the chaos surface: leader killed / frozen / partitioned mid-ingest,
+# with the flight recorder armed so a failed election window dumps each
+# replica's last moments.
+if ! KERA_FLIGHTREC=1 cargo test -q --test chaos -- --exact \
+    coordinator_leader_kill_fails_over_without_metadata_loss \
+    coordinator_frozen_leader_is_deposed_and_steps_down_on_thaw \
+    coordinator_partitioned_leader_abdicates_and_rejoins; then
+  echo "coordinator failover drills failed — flight recorder dumps:" >&2
+  ls results/flightrec-*.json >&2 2>/dev/null || echo "  (none recorded)" >&2
+  exit 1
+fi
+
 # Observability overhead smoke check: a quick fig08-style point with
 # tracing on must stay within the budget (default 5%) of the same point
 # with tracing off. KERA_OBS_TOLERANCE_PCT overrides the budget.

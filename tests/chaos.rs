@@ -9,12 +9,13 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use kera::broker::cluster::{backup_node, broker_node, KeraCluster};
+use kera::broker::cluster::{backup_node, broker_node, coordinator_node, KeraCluster};
 use kera::client::consumer::{Consumer, ConsumerConfig, Subscription};
 use kera::client::producer::{Producer, ProducerConfig};
 use kera::client::MetadataClient;
 use kera::common::config::{
-    ClusterConfig, FaultProfile, ReplicationConfig, RetryPolicy, StreamConfig, VirtualLogPolicy,
+    ClusterConfig, CoordinatorConfig, FaultProfile, ReplicationConfig, RetryPolicy, StreamConfig,
+    VirtualLogPolicy,
 };
 use kera::common::ids::{ConsumerId, ProducerId, StreamId, StreamletId};
 
@@ -279,5 +280,276 @@ fn crash_recovery_survives_lossy_network() {
     assert_eq!(seen.len() as u64, N);
 
     consumer.close();
+    cluster.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator failover chaos (DESIGN.md §10): a 3-replica metadata plane
+// must survive the leader dying, hanging, or being partitioned away —
+// with a bounded election window, no metadata loss and no split-brain.
+// ---------------------------------------------------------------------------
+
+/// Every coordinator failover scenario runs under snappy election
+/// timeouts (so a failover completes in tens of milliseconds, not the
+/// production default of hundreds) and the chaos retry policy.
+fn replicated_cluster(brokers: u32, faults: Option<FaultProfile>) -> KeraCluster {
+    KeraCluster::start(ClusterConfig {
+        brokers,
+        worker_threads: 4,
+        faults,
+        coordinator: CoordinatorConfig {
+            replicas: 3,
+            heartbeat_interval: Duration::from_millis(10),
+            election_timeout_min: Duration::from_millis(60),
+            election_timeout_max: Duration::from_millis(120),
+            ..CoordinatorConfig::default()
+        },
+        retry: RetryPolicy {
+            max_attempts: 40,
+            attempt_timeout: Duration::from_millis(250),
+            initial_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+        },
+        ..ClusterConfig::default()
+    })
+    .unwrap()
+}
+
+/// Upper bound on how long a failover may take before the suite calls it
+/// a hang. Generous vs. the ~120 ms election timeout: CI boxes stall.
+const ELECTION_WINDOW: Duration = Duration::from_secs(10);
+
+/// Polls until some replica other than `exclude` believes it leads.
+fn await_new_leader(cluster: &KeraCluster, exclude: Option<u32>) -> u32 {
+    let deadline = Instant::now() + ELECTION_WINDOW;
+    loop {
+        for (i, svc) in cluster.coordinator_svcs.iter().enumerate() {
+            if Some(i as u32) != exclude && svc.is_leader() {
+                return i as u32;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no new coordinator leader within {ELECTION_WINDOW:?} (excluded {exclude:?})"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The split-brain audit: across every replica's full history, no term
+/// may have been won twice. (Replica-local `won_terms` lists survive
+/// kills and freezes — the `Arc<CoordinatorService>` outlives both.)
+fn assert_no_split_brain(cluster: &KeraCluster) {
+    let mut winner_of: HashMap<u64, usize> = HashMap::new();
+    for (i, svc) in cluster.coordinator_svcs.iter().enumerate() {
+        for term in svc.won_terms() {
+            if let Some(prev) = winner_of.insert(term, i) {
+                panic!("split brain: term {term} won by replica {prev} and replica {i}");
+            }
+        }
+    }
+}
+
+/// Kill the leader (clean process exit) while producers are mid-stream:
+/// a survivor must take over within the election window, in-flight
+/// ingestion must keep acknowledging, and every committed stream must
+/// still resolve afterwards — no metadata loss, no split-brain.
+#[test]
+fn coordinator_leader_kill_fails_over_without_metadata_loss() {
+    let mut cluster = replicated_cluster(3, None);
+    let prod_rt = cluster.client(0);
+    let meta_p = MetadataClient::with_replicas(prod_rt.client(), cluster.coordinators());
+    meta_p.create_stream(stream_config(2)).unwrap();
+
+    let producer = Producer::new(
+        &meta_p,
+        &[StreamId(1)],
+        ProducerConfig {
+            id: ProducerId(0),
+            chunk_size: 512,
+            linger: Duration::from_millis(1),
+            ..ProducerConfig::default()
+        },
+    )
+    .unwrap();
+
+    const PHASE1: u64 = 400;
+    const PHASE2: u64 = 400;
+    const TOTAL: u64 = PHASE1 + PHASE2;
+    for i in 0..PHASE1 {
+        producer.send(StreamId(1), &payload(i)).unwrap();
+    }
+    producer.flush().unwrap();
+
+    // Kill the leader, then keep producing immediately: the data plane
+    // (brokers + backups) must not miss a beat during the election.
+    let old = cluster.coordinator_leader().expect("bootstrap election completed");
+    cluster.kill_coordinator(old);
+    let failover_started = Instant::now();
+    for i in PHASE1..TOTAL {
+        producer.send(StreamId(1), &payload(i)).unwrap();
+    }
+    producer.flush().unwrap();
+    assert_eq!(producer.metrics().items(), TOTAL, "ingestion stalled during failover");
+    assert_eq!(producer.failed_requests(), 0);
+    producer.close().unwrap();
+
+    let new = await_new_leader(&cluster, Some(old));
+    assert_ne!(new, old);
+    let window = failover_started.elapsed();
+    assert!(window < ELECTION_WINDOW, "failover took {window:?}");
+
+    // The metadata plane works again: a *new* stream commits through the
+    // new leader, and the pre-failover stream still resolves from a
+    // fresh client with its placements intact — nothing was lost.
+    let admin_rt = cluster.client(1);
+    let admin = MetadataClient::with_replicas(admin_rt.client(), cluster.coordinators());
+    let md2 = admin
+        .create_stream(StreamConfig { id: StreamId(2), ..stream_config(2) })
+        .expect("create_stream after failover");
+    assert_eq!(md2.config.id, StreamId(2));
+    let md1 = admin.refresh(StreamId(1)).expect("pre-failover stream survived");
+    assert_eq!(md1.placements.len(), 4, "placements lost in failover");
+
+    // Every acknowledged record is still consumable, exactly once.
+    let cons_rt = cluster.client(2);
+    let meta_c = MetadataClient::with_replicas(cons_rt.client(), cluster.coordinators());
+    let consumer = Consumer::new(
+        &meta_c,
+        &[Subscription::whole_stream(StreamId(1))],
+        ConsumerConfig { id: ConsumerId(0), fetch_max_bytes: 4096, ..ConsumerConfig::default() },
+    )
+    .unwrap();
+    let mut seen = drain(&consumer, TOTAL);
+    assert_eq!(seen.len() as u64, TOTAL, "records lost across coordinator failover");
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len() as u64, TOTAL);
+    consumer.close();
+
+    assert_no_split_brain(&cluster);
+    let snap = cluster.metrics_snapshot();
+    assert!(
+        snap.counter_sum("coord_failovers_total", &[]) >= 1,
+        "failover counter never fired"
+    );
+    assert!(snap.counter_sum("coord_elections_total", &[]) >= 2, "elections counter too low");
+    cluster.shutdown();
+}
+
+/// Freeze the leader (wedged process: ticker stops, every request
+/// hangs): the survivors must depose it, and on thaw the stale leader
+/// must step down the moment it sees the higher term — leaving exactly
+/// one leader and a coherent metadata log.
+#[test]
+fn coordinator_frozen_leader_is_deposed_and_steps_down_on_thaw() {
+    let cluster = replicated_cluster(2, None);
+    let admin_rt = cluster.client(0);
+    let admin = MetadataClient::with_replicas(admin_rt.client(), cluster.coordinators());
+    admin.create_stream(stream_config(2)).unwrap();
+
+    let frozen = cluster.coordinator_leader().expect("bootstrap election completed");
+    cluster.freeze_coordinator(frozen);
+
+    // The survivors elect around the hung leader, and the metadata plane
+    // keeps serving writes while it is still wedged.
+    let new = await_new_leader(&cluster, Some(frozen));
+    assert_ne!(new, frozen);
+    admin
+        .create_stream(StreamConfig { id: StreamId(2), ..stream_config(2) })
+        .expect("create_stream while old leader hung");
+
+    // Thaw: the stale leader observes the higher term on the next
+    // heartbeat and steps down. Eventually exactly one replica leads.
+    cluster.thaw_coordinator(frozen);
+    let deadline = Instant::now() + ELECTION_WINDOW;
+    loop {
+        let leaders: Vec<usize> = cluster
+            .coordinator_svcs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_leader())
+            .map(|(i, _)| i)
+            .collect();
+        if leaders.len() == 1 && leaders[0] != frozen as usize {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stale leader never stepped down after thaw: leaders={leaders:?}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Both streams — one committed before the freeze, one during — are
+    // visible from a fresh client via the surviving leader.
+    let rt = cluster.client(1);
+    let meta = MetadataClient::with_replicas(rt.client(), cluster.coordinators());
+    assert_eq!(meta.refresh(StreamId(1)).unwrap().config.id, StreamId(1));
+    assert_eq!(meta.refresh(StreamId(2)).unwrap().config.id, StreamId(2));
+
+    assert_no_split_brain(&cluster);
+    cluster.shutdown();
+}
+
+/// Partition the leader from its peers: it must lose quorum and
+/// abdicate, the majority side must elect, and on heal the old leader
+/// must rejoin as a follower and replicate what it missed — without two
+/// replicas ever winning the same term.
+#[test]
+fn coordinator_partitioned_leader_abdicates_and_rejoins() {
+    let cluster = replicated_cluster(2, Some(FaultProfile::default()));
+    let admin_rt = cluster.client(0);
+    let admin = MetadataClient::with_replicas(admin_rt.client(), cluster.coordinators());
+    admin.create_stream(stream_config(2)).unwrap();
+
+    let old = cluster.coordinator_leader().expect("bootstrap election completed");
+    let plan = cluster.fault_plan().expect("started with a fault plan").clone();
+    // Island the leader: cut it from its replica peers *and* from the
+    // clients, so nothing can reach it while it still thinks it leads.
+    for i in 0..3u32 {
+        if i != old {
+            plan.partition(coordinator_node(old), coordinator_node(i));
+        }
+    }
+    plan.partition(coordinator_node(old), kera::broker::cluster::client_node(0));
+    plan.partition(coordinator_node(old), kera::broker::cluster::client_node(1));
+
+    // The majority side elects a new leader and keeps committing.
+    let new = await_new_leader(&cluster, Some(old));
+    assert_ne!(new, old);
+    admin
+        .create_stream(StreamConfig { id: StreamId(2), ..stream_config(2) })
+        .expect("create_stream on the majority side");
+
+    // The islanded leader loses quorum acks and abdicates within its
+    // election timeout — no minority leader lingers.
+    let deadline = Instant::now() + ELECTION_WINDOW;
+    while cluster.coordinator_svcs[old as usize].is_leader() {
+        assert!(Instant::now() < deadline, "partitioned leader never abdicated");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Heal: the old leader rejoins, observes the higher term, and tails
+    // the log it missed; the cluster converges on one leader.
+    plan.heal_all();
+    let deadline = Instant::now() + ELECTION_WINDOW;
+    loop {
+        let leaders =
+            cluster.coordinator_svcs.iter().filter(|s| s.is_leader()).count();
+        let caught_up = cluster.coordinator_svcs[old as usize].committed_streams() >= 2;
+        if leaders == 1 && caught_up {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "post-heal convergence failed: leaders={leaders} caught_up={caught_up}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    assert_no_split_brain(&cluster);
+    let snap = cluster.metrics_snapshot();
+    assert!(snap.counter_sum("coord_failovers_total", &[]) >= 1);
     cluster.shutdown();
 }

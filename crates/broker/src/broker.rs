@@ -17,7 +17,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use bytes::Bytes;
-use kera_common::config::StreamConfig;
+use kera_common::config::{QuotaConfig, StreamConfig};
 use kera_common::ids::{NodeId, StreamId};
 use kera_common::metrics::Counter;
 use kera_common::{KeraError, Result};
@@ -32,10 +32,11 @@ use kera_wire::chunk::ChunkIter;
 use kera_wire::frames::OpCode;
 use kera_wire::messages::{
     FetchRequest, FetchResponse, FetchResult, HostStreamRequest, ProduceRequest,
-    ProduceResponse, ReplicaRole, SeekRequest, SeekResponse,
+    ProduceResponse, QuotaStateRequest, ReplicaRole, SeekRequest, SeekResponse,
 };
 
 use crate::channel::RpcBackupChannel;
+use crate::quota::{AdmissionControl, AdmissionPermit};
 
 /// Timeout for one replication round.
 const REPLICATION_TIMEOUT: Duration = Duration::from_secs(5);
@@ -54,6 +55,9 @@ pub struct BrokerService {
     replication_threads: usize,
     /// Observability handle; the counters below live in its registry.
     obs: Arc<NodeObs>,
+    /// Multi-tenant admission gate on the produce/fetch paths (inert
+    /// unless `QuotaConfig::enabled`).
+    admission: Arc<AdmissionControl>,
     /// Chunks ingested (`kera.broker.chunks_in`).
     pub chunks_in: Arc<Counter>,
     /// Records ingested (`kera.broker.records_in`).
@@ -104,6 +108,26 @@ impl BrokerService {
         replication_threads: usize,
         obs: Arc<NodeObs>,
     ) -> Arc<Self> {
+        Self::with_quotas(
+            node,
+            colocated_backup,
+            cluster_backups,
+            replication_threads,
+            obs,
+            QuotaConfig::default(),
+        )
+    }
+
+    /// Full constructor: [`BrokerService::with_obs`] plus the tenant
+    /// quota configuration (the default is disabled — no admission gate).
+    pub fn with_quotas(
+        node: NodeId,
+        colocated_backup: NodeId,
+        cluster_backups: Vec<NodeId>,
+        replication_threads: usize,
+        obs: Arc<NodeObs>,
+        quotas: QuotaConfig,
+    ) -> Arc<Self> {
         let reg = obs.registry();
         Arc::new(Self {
             node,
@@ -123,8 +147,14 @@ impl BrokerService {
             bytes_in: reg.counter("kera.broker.bytes_in", &[]),
             fetches: reg.counter("kera.broker.fetches", &[]),
             chunks_replayed: reg.counter("kera.broker.chunks_replayed", &[]),
+            admission: AdmissionControl::new(quotas, Arc::clone(&obs)),
             obs,
         })
+    }
+
+    /// The admission gate (runtime quota flips, chaos drills, tooling).
+    pub fn admission(&self) -> &Arc<AdmissionControl> {
+        &self.admission
     }
 
     /// Wires the service to its node runtime's RPC client and starts the
@@ -350,6 +380,16 @@ impl Service for BrokerService {
             // request" (paper §IV-B).
             OpCode::Produce | OpCode::RecoveryIngest => {
                 let req = ProduceRequest::decode(&payload)?;
+                // Admission gate, before any append work. Recovery
+                // re-ingestion bypasses it: throttling our own crash
+                // recovery would turn overload into data loss. The
+                // permit spans the durability wait — its bytes *are*
+                // the broker's admission-queue occupancy.
+                let _permit = if ctx.opcode == OpCode::Produce && !req.recovery {
+                    self.admission.admit(ctx.from, req.chunks.len() as u64)?
+                } else {
+                    AdmissionPermit::inactive()
+                };
                 // Don't block on durability longer than the caller is
                 // willing to wait (propagated deadline), nor longer than
                 // the replication timeout.
@@ -360,7 +400,20 @@ impl Service for BrokerService {
             }
             OpCode::Fetch => {
                 let req = FetchRequest::decode(&payload)?;
-                Ok(self.handle_fetch(req)?.encode())
+                // Fetch quota is a debt model: refuse while the tenant
+                // still owes for previously served bytes, else serve
+                // and charge afterwards.
+                self.admission.admit_fetch(ctx.from)?;
+                let resp = self.handle_fetch(req)?;
+                let served: u64 = resp.results.iter().map(|r| r.data.len() as u64).sum();
+                self.admission.charge_fetch(ctx.from, served);
+                Ok(resp.encode())
+            }
+            OpCode::QuotaState => {
+                let req = QuotaStateRequest::decode(&payload)?;
+                let tenant =
+                    if req.tenant == u32::MAX { ctx.from.raw() } else { req.tenant };
+                Ok(self.admission.snapshot(tenant).encode())
             }
             OpCode::Seek => {
                 let req = SeekRequest::decode(&payload)?;

@@ -144,12 +144,13 @@ impl KeraCluster {
         let mut broker_rts = Vec::with_capacity(b as usize);
         for i in 0..b {
             let obs = make_obs(broker_node(i));
-            let svc = BrokerService::with_obs(
+            let svc = BrokerService::with_quotas(
                 broker_node(i),
                 backup_node(i),
                 backup_ids.clone(),
                 2,
                 Arc::clone(&obs),
+                config.quotas,
             );
             let rt = NodeRuntime::start_with_obs(
                 register(broker_node(i))?,

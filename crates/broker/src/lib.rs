@@ -28,5 +28,6 @@ pub mod cluster;
 pub mod coordinator;
 pub mod election;
 pub mod metalog;
+pub mod quota;
 
 pub use cluster::KeraCluster;

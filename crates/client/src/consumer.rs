@@ -344,8 +344,21 @@ fn requests_loop(shared: Arc<Shared>, states: SharedStates, cache_tx: Sender<Fet
                 (broker, idxs.clone(), call)
             })
             .collect();
+        let mut throttled_pause: Option<Duration> = None;
         for (_broker, idxs, call) in calls {
-            let Ok(payload) = call.wait(shared.cfg.call_timeout) else { continue };
+            let payload = match call.wait(shared.cfg.call_timeout) {
+                Ok(p) => p,
+                // Fetch-side admission control: the broker meters reads
+                // per tenant and answers `Throttled` when this consumer
+                // is in debt. Honour the hint instead of hammering.
+                Err(kera_common::KeraError::Throttled { retry_after, .. }) => {
+                    let pause = retry_after.min(Duration::from_millis(500));
+                    throttled_pause =
+                        Some(throttled_pause.map_or(pause, |p: Duration| p.max(pause)));
+                    continue;
+                }
+                Err(_) => continue,
+            };
             let Ok(resp) = FetchResponse::decode(&payload) else { continue };
             for (result, &i) in resp.results.iter().zip(&idxs) {
                 {
@@ -368,7 +381,9 @@ fn requests_loop(shared: Arc<Shared>, states: SharedStates, cache_tx: Sender<Fet
                 }
             }
         }
-        if !got_data {
+        if let Some(pause) = throttled_pause {
+            std::thread::sleep(pause);
+        } else if !got_data {
             std::thread::sleep(shared.cfg.idle_backoff);
         }
     }

@@ -48,6 +48,17 @@ pub struct ProducerConfig {
     /// requests", paper §II-B). 1 = one synchronous request per broker,
     /// the paper's evaluation setting.
     pub pipeline: usize,
+    /// Cap on bytes in flight across all brokers (`0` = unbounded, the
+    /// pre-quota behaviour). A broker `window_hint` tightens this
+    /// further at runtime.
+    pub window_bytes: usize,
+    /// Cap on requests in flight across all brokers (`0` = unbounded).
+    pub window_requests: usize,
+    /// Honor broker `Throttled { retry_after, .. }` hints with jittered
+    /// backoff (polite mode, the default). `false` treats throttles
+    /// like any other error — immediate retries, no pacing — which is
+    /// exactly what an abusive client does; chaos drills flip this.
+    pub honor_throttle: bool,
 }
 
 impl Default for ProducerConfig {
@@ -62,7 +73,44 @@ impl Default for ProducerConfig {
             queue_capacity: 1000,
             max_retries: 3,
             pipeline: 1,
+            window_bytes: 0,
+            window_requests: 0,
+            honor_throttle: true,
         }
+    }
+}
+
+/// In-flight window accounting plus broker throttle state, shared by
+/// the requests thread (grouping/sending) and `complete` (release and
+/// throttle bookkeeping). Guarded by the `client.window` lock class;
+/// never held across an RPC.
+struct WindowState {
+    /// Bytes of requests on the wire (request bodies).
+    inflight_bytes: u64,
+    /// Requests on the wire.
+    inflight_requests: u32,
+    /// Latest broker-suggested window (`0` = no suggestion yet); the
+    /// effective byte window is the tighter of this and `window_bytes`.
+    hint_bytes: u64,
+    /// Brokers to leave alone until the given instant (throttle pauses).
+    throttle_until: HashMap<NodeId, Instant>,
+    /// SplitMix64 state for backoff jitter (deterministic per producer).
+    rng: u64,
+}
+
+impl WindowState {
+    /// Next jitter draw in `[0, bound)` (`ZERO` if `bound` is zero).
+    fn jitter(&mut self, bound: Duration) -> Duration {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let nanos = bound.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(z % nanos)
     }
 }
 
@@ -107,6 +155,11 @@ struct Shared {
     /// Requests that exhausted retries
     /// (`kera.client.failed_requests{producer=<id>}`).
     pub failed_requests: Arc<Counter>,
+    /// Broker throttle responses honored
+    /// (`kera.client.throttles{producer=<id>}`).
+    pub throttled: Arc<Counter>,
+    /// In-flight window + throttle pacing (lock class `client.window`).
+    window: Mutex<WindowState>,
 }
 
 /// A producer client.
@@ -136,6 +189,15 @@ impl Producer {
             rpc.obs().registry().histogram("kera.client.request_latency", &[("producer", &pid)]);
         let failed_requests =
             rpc.obs().registry().counter("kera.client.failed_requests", &[("producer", &pid)]);
+        let throttled =
+            rpc.obs().registry().counter("kera.client.throttles", &[("producer", &pid)]);
+        let window = Mutex::named("client.window", WindowState {
+            inflight_bytes: 0,
+            inflight_requests: 0,
+            hint_bytes: 0,
+            throttle_until: HashMap::new(),
+            rng: 0x5EED_0000 ^ u64::from(cfg.id.raw()),
+        });
         let shared = Arc::new(Shared {
             cfg,
             rpc,
@@ -153,6 +215,8 @@ impl Producer {
             acked: ThroughputMeter::new(),
             request_latency,
             failed_requests,
+            throttled,
+            window,
         });
         let requests_thread = {
             let shared = Arc::clone(&shared);
@@ -288,6 +352,11 @@ impl Producer {
         self.shared.failed_requests.get()
     }
 
+    /// Broker throttle responses this producer has honored so far.
+    pub fn throttles(&self) -> u64 {
+        self.shared.throttled.get()
+    }
+
     /// Flushes, stops the requests thread and joins it.
     pub fn close(mut self) -> Result<()> {
         let flush_result = self.flush();
@@ -389,23 +458,76 @@ fn requests_loop(shared: Arc<Shared>, ready_rx: Receiver<SealedChunk>) {
             last_linger_scan = Instant::now();
         }
 
-        // Group into one request per broker, respecting request_max_bytes
-        // and the pipeline bound; overflow returns to the backlog.
+        // Window snapshot for this round: how many bytes/requests may
+        // still go on the wire, and which brokers asked to be left
+        // alone. The lock is released before any RPC work.
+        let now = Instant::now();
+        let (mut byte_budget, mut req_budget, paused) = {
+            let mut w = shared.window.lock();
+            w.throttle_until.retain(|_, until| *until > now);
+            let paused: Vec<NodeId> = w.throttle_until.keys().copied().collect();
+            let cfg_window = shared.cfg.window_bytes as u64;
+            let eff = match (cfg_window, w.hint_bytes) {
+                (0, 0) => None,
+                (0, h) => Some(h),
+                (b, 0) => Some(b),
+                (b, h) => Some(b.min(h)),
+            };
+            let byte_budget = eff.map(|e| e.saturating_sub(w.inflight_bytes));
+            let req_budget = match shared.cfg.window_requests as u32 {
+                0 => None,
+                r => Some(r.saturating_sub(w.inflight_requests)),
+            };
+            (byte_budget, req_budget, paused)
+        };
+
+        // Group into one request per broker, respecting request_max_bytes,
+        // the pipeline bound and the in-flight window; overflow returns
+        // to the backlog.
         let mut per_broker: HashMap<NodeId, (Vec<u8>, u32, u32)> = HashMap::new();
+        // Brokers with a chunk already sent back to the backlog this
+        // round. Once one chunk for a broker is held back, every later
+        // chunk for it must be held back too: a smaller (linger-sealed)
+        // successor slipping into the request ahead of a full chunk of
+        // the same slot would invert the slot's record order on the
+        // broker.
+        let mut held: Vec<NodeId> = Vec::new();
         let pipeline = shared.cfg.pipeline.max(1);
         for c in batch {
-            if inflight.get(&c.broker).map(|q| q.len()).unwrap_or(0) >= pipeline
-                && !per_broker.contains_key(&c.broker)
-            {
+            if paused.contains(&c.broker) || held.contains(&c.broker) {
                 backlog.push(c);
                 continue;
             }
+            if inflight.get(&c.broker).map(|q| q.len()).unwrap_or(0) >= pipeline
+                && !per_broker.contains_key(&c.broker)
+            {
+                held.push(c.broker);
+                backlog.push(c);
+                continue;
+            }
+            if byte_budget.is_some_and(|b| (c.bytes.len() as u64) > b)
+                || (!per_broker.contains_key(&c.broker) && req_budget == Some(0))
+            {
+                held.push(c.broker);
+                backlog.push(c);
+                continue;
+            }
+            let fresh_entry = !per_broker.contains_key(&c.broker);
             let entry = per_broker.entry(c.broker).or_insert_with(|| {
                 (Vec::with_capacity(shared.cfg.request_max_bytes.min(1 << 20)), 0, 0)
             });
             if entry.1 > 0 && entry.0.len() + c.bytes.len() > shared.cfg.request_max_bytes {
+                held.push(c.broker);
                 backlog.push(c);
                 continue;
+            }
+            if let Some(b) = byte_budget.as_mut() {
+                *b -= c.bytes.len() as u64;
+            }
+            if fresh_entry {
+                if let Some(r) = req_budget.as_mut() {
+                    *r -= 1;
+                }
             }
             entry.0.extend_from_slice(&c.bytes);
             entry.1 += 1;
@@ -421,6 +543,11 @@ fn requests_loop(shared: Arc<Shared>, ready_rx: Receiver<SealedChunk>) {
                 chunk_count: chunks,
                 chunks: Bytes::from(body),
             };
+            {
+                let mut w = shared.window.lock();
+                w.inflight_bytes += req.chunks.len() as u64;
+                w.inflight_requests += 1;
+            }
             let call = shared.rpc.call_async(broker, OpCode::Produce, req.encode());
             inflight.entry(broker).or_default().push_back(InFlight {
                 call,
@@ -497,15 +624,65 @@ fn reap(shared: &Shared, inflight: &mut HashMap<NodeId, std::collections::VecDeq
     }
 }
 
-/// Applies one resolved request: retries on failure, records metrics,
-/// releases the flush barrier.
+/// Upper bound on honored throttle retries per request: at the broker's
+/// maximum retry hint this is tens of seconds of cooperation before the
+/// request is declared failed.
+const MAX_THROTTLE_RETRIES: u32 = 64;
+
+/// Applies one resolved request: retries on failure (honoring broker
+/// throttle hints with jittered backoff in polite mode), records
+/// metrics, releases the window and the flush barrier.
 fn complete(shared: &Shared, inf: InFlight, mut result: Result<Bytes>) {
     let mut attempts = 0;
-    while result.is_err() && attempts < shared.cfg.max_retries {
-        if shared.shutdown.load(Ordering::SeqCst) && shared.discard.load(Ordering::SeqCst) {
+    let mut throttle_retries = 0;
+    loop {
+        let aborting =
+            shared.shutdown.load(Ordering::SeqCst) && shared.discard.load(Ordering::SeqCst);
+        let again = match &result {
+            Ok(_) => false,
+            // A hard refusal: the broker is out of admission memory or
+            // has evicted this session. Hammering it with immediate
+            // retries is exactly what admission control punishes.
+            Err(KeraError::Rejected { .. }) => false,
+            Err(KeraError::Throttled { retry_after, window_hint })
+                if shared.cfg.honor_throttle =>
+            {
+                if aborting || throttle_retries >= MAX_THROTTLE_RETRIES {
+                    false
+                } else {
+                    throttle_retries += 1;
+                    shared.throttled.inc();
+                    // Record the hint, pause this broker for new sends,
+                    // and sleep retry_after plus jitter before the
+                    // retry (dedup tags make it exactly-once).
+                    let pause = {
+                        let mut w = shared.window.lock();
+                        if *window_hint > 0 {
+                            w.hint_bytes = *window_hint;
+                        }
+                        let jitter = w.jitter(*retry_after / 2 + Duration::from_micros(100));
+                        let pause = *retry_after + jitter;
+                        w.throttle_until.insert(inf.broker, Instant::now() + pause);
+                        pause
+                    };
+                    std::thread::sleep(pause);
+                    true
+                }
+            }
+            Err(_) => {
+                // Blind same-payload retry (throttles land here too for
+                // abusive `honor_throttle = false` clients).
+                if aborting || attempts >= shared.cfg.max_retries {
+                    false
+                } else {
+                    attempts += 1;
+                    true
+                }
+            }
+        };
+        if !again {
             break;
         }
-        attempts += 1;
         // Chunk sequence tags make retries exactly-once on the broker
         // side (per-slot replay caches); re-send verbatim.
         result = shared.rpc.call(
@@ -526,6 +703,11 @@ fn complete(shared: &Shared, inf: InFlight, mut result: Result<Bytes>) {
         Err(_) => {
             shared.failed_requests.inc();
         }
+    }
+    {
+        let mut w = shared.window.lock();
+        w.inflight_bytes = w.inflight_bytes.saturating_sub(inf.req.chunks.len() as u64);
+        w.inflight_requests = w.inflight_requests.saturating_sub(1);
     }
     shared.outstanding.fetch_sub(u64::from(inf.chunks), Ordering::AcqRel);
 }

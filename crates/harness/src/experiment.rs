@@ -10,7 +10,8 @@ use kera_client::consumer::{Consumer, ConsumerConfig, Subscription};
 use kera_client::producer::{Producer, ProducerConfig};
 use kera_client::{MetadataClient, Partitioner};
 use kera_common::config::{
-    ClusterConfig, CoordinatorConfig, ReplicationConfig, StreamConfig, VirtualLogPolicy,
+    ClusterConfig, CoordinatorConfig, QuotaConfig, ReplicationConfig, StreamConfig,
+    VirtualLogPolicy,
 };
 use kera_common::ids::{ConsumerId, NodeId, ProducerId, StreamId, StreamletId};
 use kera_common::Result;
@@ -96,6 +97,29 @@ pub struct ExperimentConfig {
     /// `KERA_COORD_REPLICAS` overrides, so every figure harness run
     /// works unchanged against a replicated coordinator.
     pub coordinator_replicas: u32,
+    /// Per-tenant admission control (DESIGN.md §11). Off by default so
+    /// every figure reproduces the unthrottled paper numbers;
+    /// `KERA_QUOTA=1` turns it on for any figure run, with
+    /// `KERA_QUOTA_BPS` / `KERA_QUOTA_BURST` / `KERA_QUOTA_FETCH_BPS` /
+    /// `KERA_QUOTA_INFLIGHT` / `KERA_QUOTA_QUEUE` tuning the limits.
+    pub quotas: QuotaConfig,
+}
+
+fn env_quotas() -> QuotaConfig {
+    let d = QuotaConfig::default();
+    QuotaConfig {
+        enabled: env_flag("KERA_QUOTA", false),
+        produce_bytes_per_sec: env_usize("KERA_QUOTA_BPS", d.produce_bytes_per_sec as usize)
+            as u64,
+        burst_bytes: env_usize("KERA_QUOTA_BURST", d.burst_bytes as usize) as u64,
+        fetch_bytes_per_sec: env_usize("KERA_QUOTA_FETCH_BPS", d.fetch_bytes_per_sec as usize)
+            as u64,
+        max_inflight_bytes: env_usize("KERA_QUOTA_INFLIGHT", d.max_inflight_bytes as usize)
+            as u64,
+        admission_queue_bytes: env_usize("KERA_QUOTA_QUEUE", d.admission_queue_bytes as usize)
+            as u64,
+        ..d
+    }
 }
 
 impl Default for ExperimentConfig {
@@ -124,6 +148,7 @@ impl Default for ExperimentConfig {
             io_cost_ns: env_usize("KERA_IO_COST_NS", 30_000) as u64,
             observability: env_flag("KERA_OBS", true),
             coordinator_replicas: env_usize("KERA_COORD_REPLICAS", 1) as u32,
+            quotas: env_quotas(),
         }
     }
 }
@@ -208,6 +233,10 @@ pub struct Measurement {
     pub replication_chunks: u64,
     /// Produce requests that failed terminally.
     pub failed_requests: u64,
+    /// Per-tenant (per-producer) acknowledged throughput, records/s —
+    /// populated only when quotas are enabled, so quota-off reports are
+    /// byte-identical to pre-quota runs.
+    pub tenant_rates: Vec<(u32, f64)>,
     /// Per-stage latency breakdown (client call → broker append →
     /// replicate wait → vlog ship → backup write → flush), empty when
     /// observability is off.
@@ -280,6 +309,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Measurement> {
             replicas: cfg.coordinator_replicas,
             ..CoordinatorConfig::default()
         },
+        quotas: cfg.quotas,
         ..ClusterConfig::default()
     };
     let cluster = match cfg.system {
@@ -432,10 +462,14 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Measurement> {
     let mut produce_bytes_rate = 0.0;
     let mut failed_requests = 0;
     let mut latency_sum = 0.0;
-    for p in &producers {
+    let mut tenant_rates = Vec::new();
+    for (p_idx, p) in producers.iter().enumerate() {
         if let Some((r, b)) = p.metrics().rates() {
             produce_rate += r;
             produce_bytes_rate += b;
+            if cfg.quotas.enabled {
+                tenant_rates.push((p_idx as u32, r));
+            }
         }
         failed_requests += p.failed_requests();
         latency_sum += p.request_latency().mean_ns() / 1e3;
@@ -506,6 +540,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Measurement> {
         replication_batches,
         replication_chunks,
         failed_requests,
+        tenant_rates,
         stages,
         metrics_json,
     })
@@ -563,6 +598,47 @@ mod tests {
         let m = run_experiment(&cfg).unwrap();
         assert!(m.produce_rate > 0.0, "no throughput with replicated coordinator: {m:?}");
         assert_eq!(m.failed_requests, 0);
+    }
+
+    /// Acceptance for DESIGN.md §11: a figure point runs to completion
+    /// with admission control enabled, reports per-tenant rates, and
+    /// still loses no acked request. The quota is set high enough that
+    /// the measured aggregate stays positive even when individual
+    /// requests get throttled and retried.
+    #[test]
+    fn kera_experiment_runs_with_quotas_enabled() {
+        let mut cfg = ExperimentConfig {
+            streams: 2,
+            replication_factor: 2,
+            chunk_size: 1024,
+            quotas: QuotaConfig {
+                enabled: true,
+                produce_bytes_per_sec: 64 * 1024 * 1024,
+                burst_bytes: 4 * 1024 * 1024,
+                ..QuotaConfig::default()
+            },
+            ..ExperimentConfig::default()
+        };
+        quick(&mut cfg);
+        let m = run_experiment(&cfg).unwrap();
+        assert!(m.produce_rate > 0.0, "no throughput with quotas on: {m:?}");
+        assert_eq!(m.failed_requests, 0);
+        assert_eq!(m.tenant_rates.len(), 2, "one rate per producer: {:?}", m.tenant_rates);
+        assert!(m.metrics_json.contains("kera.broker.admission_queue_bytes"), "quota gauges");
+    }
+
+    #[test]
+    fn quotas_off_reports_no_tenant_rates() {
+        let mut cfg = ExperimentConfig {
+            replication_factor: 2,
+            chunk_size: 1024,
+            ..ExperimentConfig::default()
+        };
+        cfg.quotas.enabled = false;
+        quick(&mut cfg);
+        let m = run_experiment(&cfg).unwrap();
+        assert!(m.produce_rate > 0.0);
+        assert!(m.tenant_rates.is_empty(), "quota-off output must not change");
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub fn run_figure(fig: &Figure) -> Result<Vec<Row>> {
         if !m.stages.is_empty() {
             println!("  {}", format_stage_breakdown(&m.stages));
         }
+        if !m.tenant_rates.is_empty() {
+            println!("  {}", format_tenant_rates(&m.tenant_rates));
+        }
         rows.push(Row { figure: fig.id.to_string(), series: p.series.clone(), x: p.x.clone(), m });
     }
     Ok(rows)
@@ -61,6 +64,14 @@ fn format_stage_breakdown(stages: &[crate::experiment::StageSummary]) -> String 
         })
         .collect();
     format!("stages: {}", parts.join(" | "))
+}
+
+/// Per-tenant acknowledged throughput (quota runs only):
+/// `tenants: t0=1.20Mrec/s | t1=0.35Mrec/s`.
+fn format_tenant_rates(rates: &[(u32, f64)]) -> String {
+    let parts: Vec<String> =
+        rates.iter().map(|(t, r)| format!("t{t}={:.2}Mrec/s", r / 1e6)).collect();
+    format!("tenants: {}", parts.join(" | "))
 }
 
 /// Writes rows as TSV (one header line, then one row per point).
@@ -176,6 +187,7 @@ mod tests {
                 replication_batches: 10,
                 replication_chunks: 100,
                 failed_requests: 0,
+                tenant_rates: Vec::new(),
                 stages: vec![crate::experiment::StageSummary {
                     stage: "append",
                     count: 42,

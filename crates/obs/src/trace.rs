@@ -105,10 +105,19 @@ pub enum Stage {
     /// A leader stepped down after seeing a higher term or losing its
     /// quorum (instant event; aux = the deposed term).
     ElectionStepdown = 14,
+    /// Broker admission gate throttled a tenant (instant event;
+    /// aux = the tenant's raw node id).
+    QuotaThrottle = 15,
+    /// Broker admission gate rejected a tenant — ladder escalation or
+    /// admission-queue memory pressure (instant event; aux = tenant id).
+    QuotaReject = 16,
+    /// Broker evicted a tenant session — abuse ladder or zombie sweep
+    /// (instant event; aux = tenant id).
+    QuotaEvict = 17,
 }
 
 /// Number of distinct stages (dense, 1-based).
-pub const STAGE_COUNT: usize = 14;
+pub const STAGE_COUNT: usize = 17;
 
 impl Stage {
     pub const ALL: [Stage; STAGE_COUNT] = [
@@ -126,6 +135,9 @@ impl Stage {
         Stage::ElectionWon,
         Stage::ElectionTimeout,
         Stage::ElectionStepdown,
+        Stage::QuotaThrottle,
+        Stage::QuotaReject,
+        Stage::QuotaEvict,
     ];
 
     pub fn name(self) -> &'static str {
@@ -144,6 +156,9 @@ impl Stage {
             Stage::ElectionWon => "election_won",
             Stage::ElectionTimeout => "election_timeout",
             Stage::ElectionStepdown => "election_stepdown",
+            Stage::QuotaThrottle => "quota_throttle",
+            Stage::QuotaReject => "quota_reject",
+            Stage::QuotaEvict => "quota_evict",
         }
     }
 

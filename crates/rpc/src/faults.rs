@@ -12,7 +12,7 @@
 //! the same fault pattern for the same per-node send sequence — failing
 //! chaos tests reproduce.
 
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,10 +42,15 @@ struct PlanInner {
     /// Directed blocked links: a `(src, dst)` entry black-holes
     /// everything src sends toward dst.
     partitions: Mutex<HashSet<(NodeId, NodeId)>>,
+    /// Slow clients: every send *originating* at a listed node stalls
+    /// for the given duration first. Models a consumer whose uplink
+    /// (fetch requests, acks) has gone glacial without dropping it.
+    slow: Mutex<HashMap<NodeId, Duration>>,
     dropped: Counter,
     duplicated: Counter,
     delayed: Counter,
     blocked: Counter,
+    stalled: Counter,
 }
 
 impl FaultPlan {
@@ -57,10 +62,12 @@ impl FaultPlan {
             inner: Arc::new(PlanInner {
                 profile,
                 partitions: Mutex::named("faults.partitions", HashSet::new()),
+                slow: Mutex::named("faults.slow", HashMap::new()),
                 dropped: Counter::new(),
                 duplicated: Counter::new(),
                 delayed: Counter::new(),
                 blocked: Counter::new(),
+                stalled: Counter::new(),
             }),
         }
     }
@@ -97,6 +104,23 @@ impl FaultPlan {
         self.inner.partitions.lock().contains(&(src, dst))
     }
 
+    /// Makes every send originating at `node` stall for `delay` before
+    /// hitting the wire (slow-client mode). Unlike a delay fault this is
+    /// synchronous — it back-pressures the sender's own threads, the
+    /// way a saturated uplink would.
+    pub fn set_slow(&self, node: NodeId, delay: Duration) {
+        self.inner.slow.lock().insert(node, delay);
+    }
+
+    /// Restores `node` to full speed.
+    pub fn clear_slow(&self, node: NodeId) {
+        self.inner.slow.lock().remove(&node);
+    }
+
+    fn slow_delay(&self, node: NodeId) -> Option<Duration> {
+        self.inner.slow.lock().get(&node).copied()
+    }
+
     /// Messages silently dropped by the rate faults.
     pub fn dropped(&self) -> u64 {
         self.inner.dropped.get()
@@ -115,6 +139,11 @@ impl FaultPlan {
     /// Messages black-holed by a partition.
     pub fn blocked(&self) -> u64 {
         self.inner.blocked.get()
+    }
+
+    /// Sends stalled by slow-client mode.
+    pub fn stalled(&self) -> u64 {
+        self.inner.stalled.get()
     }
 }
 
@@ -206,6 +235,12 @@ impl Transport for FaultInjector {
 
     fn send(&self, to: NodeId, env: Envelope) -> Result<()> {
         let profile = self.plan.profile();
+        if let Some(stall) = self.plan.slow_delay(self.local()) {
+            // Synchronous stall *before* the other faults: a slow client
+            // is slow on every byte it pushes, partitioned or not.
+            self.plan.inner.stalled.inc();
+            std::thread::sleep(stall);
+        }
         if self.plan.is_partitioned(self.local(), to) {
             // Black hole: the network ate it. The caller only learns via
             // its own timeout, exactly like a real partition.
@@ -397,6 +432,25 @@ mod tests {
         assert!(!plan.is_partitioned(NodeId(2), NodeId(1)));
         plan.heal_all();
         assert!(!plan.is_partitioned(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn slow_client_stalls_sends_then_recovers() {
+        let (plan, injector, drain) = wired(FaultProfile::default());
+        plan.set_slow(NodeId(1), Duration::from_millis(5));
+        let start = Instant::now();
+        for i in 0..4 {
+            injector.send(NodeId(2), env(i)).unwrap();
+        }
+        let stalled_for = start.elapsed();
+        assert_eq!(drain(), 4, "slow mode must deliver, just late");
+        assert_eq!(plan.stalled(), 4);
+        assert!(stalled_for >= Duration::from_millis(20), "stalled {stalled_for:?}");
+
+        plan.clear_slow(NodeId(1));
+        injector.send(NodeId(2), env(99)).unwrap();
+        assert_eq!(drain(), 1);
+        assert_eq!(plan.stalled(), 4, "cleared node no longer stalls");
     }
 
     #[test]

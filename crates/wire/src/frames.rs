@@ -56,6 +56,10 @@ pub enum OpCode {
     MetaAppend = 17,
     /// Any node → coordinator replica: who is the leader right now?
     GetLeader = 18,
+    /// Broker: report a tenant's admission-control accounting (token
+    /// balance, in-flight bytes, queue high-water mark) — tooling and
+    /// chaos drills, not the data path.
+    QuotaState = 19,
 }
 
 impl OpCode {
@@ -81,6 +85,7 @@ impl OpCode {
             16 => RequestVote,
             17 => MetaAppend,
             18 => GetLeader,
+            19 => QuotaState,
             _ => return Err(KeraError::Protocol(format!("unknown opcode {v}"))),
         })
     }
@@ -104,6 +109,8 @@ pub enum StatusCode {
     Recovery = 10,
     Internal = 11,
     NotLeader = 12,
+    Throttled = 13,
+    Rejected = 14,
 }
 
 impl StatusCode {
@@ -122,6 +129,8 @@ impl StatusCode {
             10 => StatusCode::Recovery,
             11 => StatusCode::Internal,
             12 => StatusCode::NotLeader,
+            13 => StatusCode::Throttled,
+            14 => StatusCode::Rejected,
             _ => return Err(KeraError::Protocol(format!("unknown status {v}"))),
         })
     }
@@ -141,6 +150,8 @@ pub fn status_for_error(e: &KeraError) -> StatusCode {
         KeraError::Protocol(_) => StatusCode::Protocol,
         KeraError::Recovery(_) => StatusCode::Recovery,
         KeraError::NotLeader { .. } => StatusCode::NotLeader,
+        KeraError::Throttled { .. } => StatusCode::Throttled,
+        KeraError::Rejected { .. } => StatusCode::Rejected,
         _ => StatusCode::Internal,
     }
 }
@@ -159,6 +170,13 @@ pub fn error_for_status(status: StatusCode, message: &str) -> KeraError {
         // The structured hint/term ride after the message in the payload;
         // callers that only have the message fall back to "unknown".
         StatusCode::NotLeader => KeraError::NotLeader { hint: None, term: 0 },
+        // Structured retry_after/window_hint likewise ride after the
+        // message; without them, "retry immediately, no hint".
+        StatusCode::Throttled => KeraError::Throttled {
+            retry_after: std::time::Duration::ZERO,
+            window_hint: 0,
+        },
+        StatusCode::Rejected => KeraError::Rejected { reason: message.to_string() },
         _ => KeraError::Protocol(format!("{status:?}: {message}")),
     }
 }
@@ -251,12 +269,20 @@ impl Envelope {
     /// An error response carrying the error's message as payload.
     /// `NotLeader` additionally carries its redirect hint and term after
     /// the message (hint `u32::MAX` = no known leader), so the client can
-    /// re-resolve without string parsing.
+    /// re-resolve without string parsing; `Throttled` likewise carries
+    /// its structured retry_after (microseconds) and window hint.
     pub fn error_response(opcode: OpCode, request_id: u64, from: NodeId, e: &KeraError) -> Self {
         let mut w = Writer::new();
         w.string(&e.to_string());
-        if let KeraError::NotLeader { hint, term } = e {
-            w.u32(hint.map_or(u32::MAX, NodeId::raw)).u64(*term);
+        match e {
+            KeraError::NotLeader { hint, term } => {
+                w.u32(hint.map_or(u32::MAX, NodeId::raw)).u64(*term);
+            }
+            KeraError::Throttled { retry_after, window_hint } => {
+                w.u64(u64::try_from(retry_after.as_micros()).unwrap_or(u64::MAX))
+                    .u64(*window_hint);
+            }
+            _ => {}
         }
         Self::response(opcode, request_id, from, status_for_error(e), w.finish())
     }
@@ -335,6 +361,13 @@ impl Envelope {
             let term = r.u64().unwrap_or(0);
             return Err(KeraError::NotLeader { hint, term });
         }
+        if self.status == StatusCode::Throttled {
+            // A malformed/legacy payload degrades to "retry now, no
+            // hint" rather than a decode error.
+            let retry_after = std::time::Duration::from_micros(r.u64().unwrap_or(0));
+            let window_hint = r.u64().unwrap_or(0);
+            return Err(KeraError::Throttled { retry_after, window_hint });
+        }
         Err(error_for_status(self.status, &msg))
     }
 }
@@ -345,7 +378,7 @@ mod tests {
 
     #[test]
     fn opcode_roundtrip() {
-        for v in 0..=18u8 {
+        for v in 0..=19u8 {
             let op = OpCode::from_u8(v).unwrap();
             assert_eq!(op as u8, v);
         }
@@ -354,7 +387,7 @@ mod tests {
 
     #[test]
     fn status_roundtrip() {
-        for v in 0..=12u8 {
+        for v in 0..=14u8 {
             let s = StatusCode::from_u8(v).unwrap();
             assert_eq!(s as u8, v);
         }
@@ -419,6 +452,46 @@ mod tests {
                 assert_eq!(hint, None);
                 assert_eq!(term, 3);
             }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn throttled_roundtrips_retry_after_and_hint() {
+        let e = KeraError::Throttled {
+            retry_after: std::time::Duration::from_micros(2500),
+            window_hint: 1 << 20,
+        };
+        let env = Envelope::error_response(OpCode::Produce, 4, NodeId(1), &e);
+        assert_eq!(env.status, StatusCode::Throttled);
+        match env.check_status().unwrap_err() {
+            KeraError::Throttled { retry_after, window_hint } => {
+                assert_eq!(retry_after, std::time::Duration::from_micros(2500));
+                assert_eq!(window_hint, 1 << 20);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+
+        // A legacy payload (message only, no extras) degrades gracefully.
+        let mut w = crate::codec::Writer::new();
+        w.string("throttled");
+        let env = Envelope::response(OpCode::Produce, 4, NodeId(1), StatusCode::Throttled, w.finish());
+        match env.check_status().unwrap_err() {
+            KeraError::Throttled { retry_after, window_hint } => {
+                assert_eq!(retry_after, std::time::Duration::ZERO);
+                assert_eq!(window_hint, 0);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejected_roundtrips_reason() {
+        let e = KeraError::Rejected { reason: "admission queue full".into() };
+        let env = Envelope::error_response(OpCode::Produce, 6, NodeId(2), &e);
+        assert_eq!(env.status, StatusCode::Rejected);
+        match env.check_status().unwrap_err() {
+            KeraError::Rejected { reason } => assert!(reason.contains("admission queue full")),
             other => panic!("wrong error: {other}"),
         }
     }

@@ -779,6 +779,95 @@ impl CrashReassignmentResponse {
     }
 }
 
+/// Any node → broker: report admission-control accounting for one
+/// tenant (`u32::MAX` = the asking node itself). Tooling/diagnostics,
+/// not the data path — chaos drills use it to assert broker memory
+/// stayed bounded without reaching into broker internals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuotaStateRequest {
+    /// Raw node id of the tenant to report on (`u32::MAX` = sender).
+    pub tenant: u32,
+}
+
+impl QuotaStateRequest {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.u32(self.tenant);
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        Ok(Self { tenant: Reader::new(buf).u32()? })
+    }
+}
+
+/// Broker → asker: one tenant's quota accounting plus the broker-wide
+/// admission-queue gauges. A tenant the broker has no session for (or
+/// quotas disabled) reports `known == false` with zeroed accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QuotaStateResponse {
+    /// Quotas are enabled on this broker.
+    pub enabled: bool,
+    /// The broker holds session state for the asked-about tenant.
+    pub known: bool,
+    /// Tenant's current produce token balance, in bytes (floored at 0).
+    pub tokens: u64,
+    /// Tenant's admitted-but-unacknowledged bytes.
+    pub inflight_bytes: u64,
+    /// Broker-wide admitted-but-unacknowledged bytes right now.
+    pub queue_bytes: u64,
+    /// High-water mark of `queue_bytes` since the broker started — the
+    /// bounded-memory gate reads this.
+    pub queue_hwm_bytes: u64,
+    /// Total throttle responses issued (all tenants, produce + fetch).
+    pub throttles: u64,
+    /// Total rejections issued (all tenants).
+    pub rejections: u64,
+    /// Total session evictions (ladder + zombie sweep).
+    pub evictions: u64,
+}
+
+impl QuotaStateResponse {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.u8(self.enabled as u8)
+            .u8(self.known as u8)
+            .u64(self.tokens)
+            .u64(self.inflight_bytes)
+            .u64(self.queue_bytes)
+            .u64(self.queue_hwm_bytes)
+            .u64(self.throttles)
+            .u64(self.rejections)
+            .u64(self.evictions);
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let enabled = match r.u8()? {
+            0 => false,
+            1 => true,
+            v => return Err(KeraError::Protocol(format!("bad bool {v} in quota state"))),
+        };
+        let known = match r.u8()? {
+            0 => false,
+            1 => true,
+            v => return Err(KeraError::Protocol(format!("bad bool {v} in quota state"))),
+        };
+        Ok(Self {
+            enabled,
+            known,
+            tokens: r.u64()?,
+            inflight_bytes: r.u64()?,
+            queue_bytes: r.u64()?,
+            queue_hwm_bytes: r.u64()?,
+            throttles: r.u64()?,
+            rejections: r.u64()?,
+            evictions: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1036,6 +1125,37 @@ mod tests {
             }],
         };
         assert_eq!(CrashReassignmentResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn quota_state_roundtrip() {
+        let req = QuotaStateRequest { tenant: 2001 };
+        assert_eq!(QuotaStateRequest::decode(&req.encode()).unwrap(), req);
+        let req = QuotaStateRequest { tenant: u32::MAX };
+        assert_eq!(QuotaStateRequest::decode(&req.encode()).unwrap(), req);
+
+        let resp = QuotaStateResponse {
+            enabled: true,
+            known: true,
+            tokens: 123_456,
+            inflight_bytes: 789,
+            queue_bytes: 1024,
+            queue_hwm_bytes: 4096,
+            throttles: 7,
+            rejections: 3,
+            evictions: 1,
+        };
+        assert_eq!(QuotaStateResponse::decode(&resp.encode()).unwrap(), resp);
+
+        // Truncation anywhere errors cleanly.
+        let buf = resp.encode();
+        for cut in 0..buf.len() {
+            assert!(QuotaStateResponse::decode(&buf[..cut]).is_err(), "cut at {cut} decoded");
+        }
+        // Non-boolean bool byte is a protocol error, not a panic.
+        let mut bad = buf.to_vec();
+        bad[0] = 7;
+        assert!(QuotaStateResponse::decode(&bad).is_err());
     }
 
     #[test]

@@ -35,6 +35,23 @@ if ! KERA_FLIGHTREC=1 cargo test -q --test chaos -- --exact \
   exit 1
 fi
 
+# Overload chaos drills (DESIGN.md §11), run by name for the same
+# reason: the 10:1 abusive-tenant storm (polite-throughput floor +
+# degradation ladder), the slow-consumer pile-up, and quota flapping
+# mid-ingest. Each asserts the bounded-memory gate — the admission
+# queue's high-water mark never exceeds `admission_queue_bytes` on any
+# broker — plus exactly-once delivery of every acked record. The flight
+# recorder is armed so a failed drill dumps per-node quota events
+# (QuotaThrottle/QuotaReject/QuotaEvict stages).
+if ! KERA_FLIGHTREC=1 cargo test -q --test chaos -- --exact \
+    overload_polite_tenants_keep_throughput_floor \
+    slow_consumer_pileup_keeps_broker_bounded \
+    quota_flapping_mid_ingest_preserves_exactly_once; then
+  echo "overload drills failed — flight recorder dumps:" >&2
+  ls results/flightrec-*.json >&2 2>/dev/null || echo "  (none recorded)" >&2
+  exit 1
+fi
+
 # Observability overhead smoke check: a quick fig08-style point with
 # tracing on must stay within the budget (default 5%) of the same point
 # with tracing off. KERA_OBS_TOLERANCE_PCT overrides the budget.

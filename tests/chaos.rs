@@ -7,17 +7,31 @@
 //! invariants, not schedules, so thread interleaving cannot flip them.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use kera::broker::cluster::{backup_node, broker_node, coordinator_node, KeraCluster};
+use kera::broker::cluster::{backup_node, broker_node, client_node, coordinator_node, KeraCluster};
 use kera::client::consumer::{Consumer, ConsumerConfig, Subscription};
 use kera::client::producer::{Producer, ProducerConfig};
 use kera::client::MetadataClient;
 use kera::common::config::{
-    ClusterConfig, CoordinatorConfig, FaultProfile, ReplicationConfig, RetryPolicy, StreamConfig,
-    VirtualLogPolicy,
+    ClusterConfig, CoordinatorConfig, FaultProfile, QuotaConfig, ReplicationConfig, RetryPolicy,
+    StreamConfig, VirtualLogPolicy,
 };
 use kera::common::ids::{ConsumerId, ProducerId, StreamId, StreamletId};
+use kera::wire::frames::OpCode;
+use kera::wire::messages::{ProduceRequest, QuotaStateRequest, QuotaStateResponse};
+
+/// Serializes the drills: each one spins up a full multi-node cluster
+/// (worker pools, chaos threads, in the overload storm ten full-speed
+/// hammer threads) and asserts on latency windows and throughput
+/// floors. Two clusters' worth of spinning threads sharing the machine
+/// distort each other's timing — one drill at a time.
+static SERIAL: parking_lot::Mutex<()> = parking_lot::Mutex::named("chaos.serial", ());
+
+fn serial() -> parking_lot::MutexGuard<'static, ()> {
+    SERIAL.lock()
+}
 
 fn chaos_cluster(brokers: u32, profile: FaultProfile) -> KeraCluster {
     KeraCluster::start(ClusterConfig {
@@ -40,8 +54,12 @@ fn chaos_cluster(brokers: u32, profile: FaultProfile) -> KeraCluster {
 }
 
 fn stream_config(factor: u32) -> StreamConfig {
+    stream_config_for(1, factor)
+}
+
+fn stream_config_for(id: u32, factor: u32) -> StreamConfig {
     StreamConfig {
-        id: StreamId(1),
+        id: StreamId(id),
         streamlets: 4,
         active_groups: 1,
         segments_per_group: 8,
@@ -76,7 +94,7 @@ fn drain(consumer: &Consumer, n: u64) -> Vec<u64> {
             .for_each_record(|_, rec| {
                 let v = u64::from_le_bytes(rec.value()[..8].try_into().unwrap());
                 if let Some(&prev) = last_per_slot.get(&key) {
-                    assert!(v > prev, "per-slot order violated under faults");
+                    assert!(v > prev, "per-slot order violated under faults: {v} after {prev}");
                 }
                 last_per_slot.insert(key, v);
                 seen.push(v);
@@ -92,6 +110,7 @@ fn drain(consumer: &Consumer, n: u64) -> Vec<u64> {
 /// through: no loss, no duplication, order preserved.
 #[test]
 fn lossy_cluster_with_transient_partition_loses_nothing() {
+    let _serial = serial();
     let cluster = chaos_cluster(
         3,
         FaultProfile {
@@ -211,6 +230,7 @@ fn lossy_cluster_with_transient_partition_loses_nothing() {
 /// every acknowledged record exactly once.
 #[test]
 fn crash_recovery_survives_lossy_network() {
+    let _serial = serial();
     let mut cluster = chaos_cluster(
         4,
         FaultProfile {
@@ -356,6 +376,7 @@ fn assert_no_split_brain(cluster: &KeraCluster) {
 /// still resolve afterwards — no metadata loss, no split-brain.
 #[test]
 fn coordinator_leader_kill_fails_over_without_metadata_loss() {
+    let _serial = serial();
     let mut cluster = replicated_cluster(3, None);
     let prod_rt = cluster.client(0);
     let meta_p = MetadataClient::with_replicas(prod_rt.client(), cluster.coordinators());
@@ -443,6 +464,7 @@ fn coordinator_leader_kill_fails_over_without_metadata_loss() {
 /// one leader and a coherent metadata log.
 #[test]
 fn coordinator_frozen_leader_is_deposed_and_steps_down_on_thaw() {
+    let _serial = serial();
     let cluster = replicated_cluster(2, None);
     let admin_rt = cluster.client(0);
     let admin = MetadataClient::with_replicas(admin_rt.client(), cluster.coordinators());
@@ -498,6 +520,7 @@ fn coordinator_frozen_leader_is_deposed_and_steps_down_on_thaw() {
 /// replicas ever winning the same term.
 #[test]
 fn coordinator_partitioned_leader_abdicates_and_rejoins() {
+    let _serial = serial();
     let cluster = replicated_cluster(2, Some(FaultProfile::default()));
     let admin_rt = cluster.client(0);
     let admin = MetadataClient::with_replicas(admin_rt.client(), cluster.coordinators());
@@ -551,5 +574,454 @@ fn coordinator_partitioned_leader_abdicates_and_rejoins() {
     assert_no_split_brain(&cluster);
     let snap = cluster.metrics_snapshot();
     assert!(snap.counter_sum("coord_failovers_total", &[]) >= 1);
+    cluster.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Overload chaos: multi-tenant admission control under abusive load
+// (DESIGN.md §11). These drills run with quotas *enabled* — every other
+// test in the suite runs with the default `enabled: false` and must be
+// byte-for-byte unaffected by the admission plane.
+// ---------------------------------------------------------------------------
+
+fn quota_cluster(brokers: u32, quotas: QuotaConfig, faults: Option<FaultProfile>) -> KeraCluster {
+    KeraCluster::start(ClusterConfig {
+        brokers,
+        worker_threads: 4,
+        quotas,
+        faults,
+        ..ClusterConfig::default()
+    })
+    .unwrap()
+}
+
+/// Quota profile for the overload storm: a 2 MB/s per-tenant rate far
+/// below what the unthrottled broker can serve, so the quota — not the
+/// machine — is the binding constraint in both the isolated baseline
+/// and the storm run. The polite producer's requests are capped below
+/// `burst_bytes` (a request larger than the burst can never be
+/// admitted).
+fn storm_quotas() -> QuotaConfig {
+    QuotaConfig {
+        enabled: true,
+        produce_bytes_per_sec: 1024 * 1024,
+        burst_bytes: 64 * 1024,
+        fetch_bytes_per_sec: 0,
+        max_inflight_bytes: 256 * 1024,
+        // Roomy enough that eleven tenants' bursts and windows fit: the
+        // queue-full path rejects *terminally* (memory pressure is not
+        // retriable politeness), and this drill wants the polite tenant
+        // throttled, never rejected.
+        admission_queue_bytes: 4 * 1024 * 1024,
+        // Low enough that an instant-retry abuser trips them within one
+        // refill window, high enough that the polite producer (honest
+        // backoff — its counter resets on every admit) never can.
+        reject_after_throttles: 6,
+        evict_after_rejections: 3,
+        evict_cooldown: Duration::from_millis(200),
+        zombie_idle: Duration::from_millis(1500),
+    }
+}
+
+/// Sends a fixed record volume from one polite (throttle-honoring)
+/// producer and flushes; returns (elapsed, client throttle count). The
+/// volume is several times the per-tenant burst, so the quota — not
+/// machine speed — is the bottleneck and `total / elapsed` measures
+/// quota-bound throughput. Fails the test if any request died
+/// terminally — a polite client must ride out throttles.
+fn polite_run(cluster: &KeraCluster, total: u64) -> (Duration, u64) {
+    let rt = cluster.client(0);
+    let meta = MetadataClient::new(rt.client(), cluster.coordinator());
+    let producer = Producer::new(
+        &meta,
+        &[StreamId(1)],
+        ProducerConfig {
+            id: ProducerId(0),
+            chunk_size: 512,
+            // Half the burst: always admittable, and refilling 32 KB at
+            // 1 MB/s takes ~32 ms — an order of magnitude above the
+            // round-trip, so the quota (not storm-inflated latency)
+            // stays the bottleneck even at pipeline depth 1. Depth 1
+            // also keeps per-slot order: concurrent in-flight requests
+            // to one broker may append out of order.
+            request_max_bytes: 32 * 1024,
+            linger: Duration::from_millis(1),
+            ..ProducerConfig::default()
+        },
+    )
+    .unwrap();
+    let start = Instant::now();
+    for i in 0..total {
+        producer.send(StreamId(1), &payload(i)).unwrap();
+    }
+    producer.flush().unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(producer.failed_requests(), 0, "polite producer lost requests");
+    assert_eq!(producer.metrics().items(), total, "every polite send acknowledged");
+    let throttles = producer.throttles();
+    producer.close().unwrap();
+    (elapsed, throttles)
+}
+
+/// The 10:1 overload storm (ISSUE drill 1): ten abusive clients that
+/// ignore throttle hints and retry instantly hammer one stream while a
+/// single polite tenant produces to another. Admission control must
+/// hold the polite tenant at ≥ 70% of its isolated (quota-bound)
+/// throughput, keep the broker's admission queue under the configured
+/// cap, walk the abusers down the throttle → reject → evict ladder, and
+/// deliver every acked polite record exactly once. Afterwards the
+/// zombie sweep reclaims every idle session.
+#[test]
+fn overload_polite_tenants_keep_throughput_floor() {
+    let _serial = serial();
+    // ~2.5 MB of chunk traffic: ~0.6 s through two 2 MB/s buckets.
+    const POLITE_RECORDS: u64 = 30_000;
+    let quotas = storm_quotas();
+
+    // Baseline: the polite tenant alone on an identical cluster. The
+    // quota binds in both runs, so the floor compares quota-rate to
+    // quota-rate and does not depend on absolute machine speed.
+    let baseline = quota_cluster(2, quotas, None);
+    let admin_rt = baseline.client(20);
+    let admin = MetadataClient::new(admin_rt.client(), baseline.coordinator());
+    admin.create_stream(stream_config_for(1, 1)).unwrap();
+    drop(admin_rt);
+    let (iso_elapsed, iso_throttles) = polite_run(&baseline, POLITE_RECORDS);
+    baseline.shutdown();
+
+    // Storm: same cluster shape, plus ten abusive tenants hammering the
+    // brokers' admission gates with raw full-burst Produce calls and
+    // ignoring every Throttled/Rejected reply. The polite client
+    // library's pacing (bounded queue, linger, backoff) is exactly the
+    // machinery an abuser doesn't run, so the storm bypasses Producer
+    // and drives the RPC directly: attempt cadence is round-trip-bound,
+    // far faster than a 1 MB/s bucket refills a 64 KB deficit, so
+    // consecutive throttles pile up and the ladder escalates.
+    let cluster = quota_cluster(2, quotas, None);
+    let admin_rt = cluster.client(20);
+    let admin = MetadataClient::new(admin_rt.client(), cluster.coordinator());
+    admin.create_stream(stream_config_for(1, 1)).unwrap();
+    drop(admin_rt);
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut abuser_threads = Vec::new();
+    for a in 0..10u32 {
+        let rt = cluster.client(1 + a);
+        let stop = Arc::clone(&stop);
+        abuser_threads.push(std::thread::spawn(move || {
+            // A full-burst-sized garbage request: admission charges the
+            // request's byte length before any chunk parsing, which is
+            // all an overload storm needs.
+            let junk = ProduceRequest {
+                producer: ProducerId(100 + a),
+                recovery: false,
+                chunk_count: 16,
+                chunks: vec![0xABu8; 64 * 1024].into(),
+            }
+            .encode();
+            let client = rt.client();
+            let mut j = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let broker = broker_node((a + j) % 2);
+                let _ =
+                    client.call(broker, OpCode::Produce, junk.clone(), Duration::from_secs(2));
+                j = j.wrapping_add(1);
+                // Abusive, not omnipotent: an attempt every ~half
+                // millisecond still lands dozens of consecutive
+                // throttles per 64 ms refill window (≫ the reject
+                // threshold), without ten spinning threads drowning the
+                // polite tenant in raw CPU contention.
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }));
+    }
+
+    let (storm_elapsed, polite_throttles) = polite_run(&cluster, POLITE_RECORDS);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for t in abuser_threads {
+        t.join().unwrap();
+    }
+
+    // The throughput floor: abusive neighbours may cost the polite
+    // tenant at most 30% of its isolated quota-bound throughput.
+    let iso_rate = POLITE_RECORDS as f64 / iso_elapsed.as_secs_f64();
+    let storm_rate = POLITE_RECORDS as f64 / storm_elapsed.as_secs_f64();
+    assert!(
+        storm_rate >= 0.70 * iso_rate,
+        "polite tenant starved: storm {storm_rate:.0} rec/s ({storm_elapsed:?}) \
+         vs isolated {iso_rate:.0} rec/s ({iso_elapsed:?})"
+    );
+    // The quota (not machine speed) bound the polite tenant: in at least
+    // one of the runs it outran its bucket and was throttled. The
+    // isolated run is the deterministic one — round trips are an order
+    // of magnitude shorter than the 32 ms per-request refill — while in
+    // the storm run contention-stretched cycles can hide the quota.
+    assert!(
+        iso_throttles + polite_throttles > 0,
+        "polite tenant over quota was never throttled"
+    );
+
+    // Bounded broker memory: the admission queue's high-water mark never
+    // exceeded the configured cap, on any broker, at any instant.
+    let mut hwm_sum = 0;
+    for b in &cluster.broker_svcs {
+        let hwm = b.admission().queue_hwm();
+        assert!(
+            hwm <= quotas.admission_queue_bytes,
+            "admission queue exceeded cap: {hwm} > {}",
+            quotas.admission_queue_bytes
+        );
+        hwm_sum += hwm;
+    }
+    assert!(hwm_sum > 0, "no bytes ever admitted");
+
+    // The degradation ladder fired end to end: throttles, escalating
+    // rejections, evictions.
+    let (mut throttles, mut rejections, mut evictions) = (0, 0, 0);
+    for b in &cluster.broker_svcs {
+        let s = b.admission().snapshot(0);
+        throttles += s.throttles;
+        rejections += s.rejections;
+        evictions += s.evictions;
+    }
+    assert!(throttles > 0, "no throttles under a 10:1 storm");
+    assert!(rejections > 0, "abusers never escalated to rejection");
+    assert!(evictions > 0, "abusers never reached eviction");
+
+    // The QuotaState RPC reports the same story over the wire.
+    let probe_rt = cluster.client(11);
+    let payload_bytes = probe_rt
+        .client()
+        .call(
+            broker_node(0),
+            OpCode::QuotaState,
+            QuotaStateRequest { tenant: client_node(1).raw() }.encode(),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+    let snap = QuotaStateResponse::decode(&payload_bytes).unwrap();
+    assert!(snap.enabled, "QuotaState must report quotas on");
+    assert!(snap.known, "abusive tenant unknown to broker 0");
+    assert!(snap.throttles > 0);
+
+    // Every acked polite record arrives exactly once, in per-slot order.
+    let cons_rt = cluster.client(12);
+    let meta_c = MetadataClient::new(cons_rt.client(), cluster.coordinator());
+    let consumer = Consumer::new(
+        &meta_c,
+        &[Subscription::whole_stream(StreamId(1))],
+        ConsumerConfig { id: ConsumerId(0), fetch_max_bytes: 4096, ..ConsumerConfig::default() },
+    )
+    .unwrap();
+    let mut seen = drain(&consumer, POLITE_RECORDS);
+    assert_eq!(seen.len() as u64, POLITE_RECORDS, "polite record count");
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len() as u64, POLITE_RECORDS, "duplicate polite records");
+    assert_eq!(*seen.first().unwrap(), 0);
+    assert_eq!(*seen.last().unwrap(), POLITE_RECORDS - 1);
+    consumer.close();
+
+    // Zombie sweep: once every session has idled past `zombie_idle`, the
+    // next admission sweeps them all; only the probing tenant remains.
+    std::thread::sleep(quotas.zombie_idle + Duration::from_millis(300));
+    for b in &cluster.broker_svcs {
+        let _ = b.admission().admit(client_node(60), 1);
+        assert_eq!(
+            b.admission().tenant_count(),
+            1,
+            "idle sessions survived the zombie sweep"
+        );
+    }
+
+    cluster.shutdown();
+}
+
+/// Slow-consumer pile-up (ISSUE drill 2): one consumer's uplink turns
+/// glacial (every send stalls) while another reads at full speed, with a
+/// fetch-side quota metering both. The broker must stay bounded, the
+/// fetch quota must actually throttle, and *both* consumers — fast and
+/// slow — must still receive every acknowledged record exactly once.
+#[test]
+fn slow_consumer_pileup_keeps_broker_bounded() {
+    let _serial = serial();
+    let quotas = QuotaConfig {
+        enabled: true,
+        // Produce effectively unmetered: every throttle in this drill is
+        // fetch-side.
+        produce_bytes_per_sec: 256 * 1024 * 1024,
+        burst_bytes: 8 * 1024 * 1024,
+        fetch_bytes_per_sec: 256 * 1024,
+        max_inflight_bytes: 8 * 1024 * 1024,
+        admission_queue_bytes: 16 * 1024 * 1024,
+        reject_after_throttles: 10_000,
+        evict_after_rejections: 10_000,
+        evict_cooldown: Duration::from_secs(1),
+        zombie_idle: Duration::from_secs(30),
+    };
+    // Inert fault profile: zero rates, but the injector is wired so
+    // slow-client mode can be flipped on per node.
+    let cluster = quota_cluster(2, quotas, Some(FaultProfile::default()));
+    let plan = cluster.fault_plan().expect("faults wired").clone();
+
+    let prod_rt = cluster.client(0);
+    let meta_p = MetadataClient::new(prod_rt.client(), cluster.coordinator());
+    meta_p.create_stream(stream_config(1)).unwrap();
+    let producer = Producer::new(
+        &meta_p,
+        &[StreamId(1)],
+        ProducerConfig { id: ProducerId(0), chunk_size: 512, ..ProducerConfig::default() },
+    )
+    .unwrap();
+    const TOTAL: u64 = 1500;
+    for i in 0..TOTAL {
+        producer.send(StreamId(1), &payload(i)).unwrap();
+    }
+    producer.flush().unwrap();
+    assert_eq!(producer.failed_requests(), 0);
+    producer.close().unwrap();
+
+    // The slow consumer: every byte it sends (fetch requests included)
+    // stalls 2 ms at the transport.
+    plan.set_slow(client_node(2), Duration::from_millis(2));
+
+    let drain_all = |client_idx: u32, consumer_id: u32| {
+        let rt = cluster.client(client_idx);
+        let meta = MetadataClient::new(rt.client(), cluster.coordinator());
+        let consumer = Consumer::new(
+            &meta,
+            &[Subscription::whole_stream(StreamId(1))],
+            ConsumerConfig {
+                id: ConsumerId(consumer_id),
+                fetch_max_bytes: 4096,
+                ..ConsumerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut seen = drain(&consumer, TOTAL);
+        consumer.close();
+        assert_eq!(seen.len() as u64, TOTAL, "consumer {consumer_id} record count");
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len() as u64, TOTAL, "consumer {consumer_id} saw duplicates");
+    };
+    drain_all(1, 0); // full speed, quota-throttled
+    drain_all(2, 1); // glacial uplink, quota-throttled *and* stalled
+
+    assert!(plan.stalled() > 0, "slow-client mode never stalled a send");
+    let mut throttles = 0;
+    for b in &cluster.broker_svcs {
+        throttles += b.admission().snapshot(0).throttles;
+        let hwm = b.admission().queue_hwm();
+        assert!(hwm <= quotas.admission_queue_bytes, "queue over cap: {hwm}");
+    }
+    // Produce is effectively unmetered, so every throttle is fetch-side.
+    assert!(throttles > 0, "fetch quota never throttled a consumer");
+
+    cluster.shutdown();
+}
+
+/// Quota flapping mid-ingest (ISSUE drill 3): an operator (or a broken
+/// controller) toggles admission control on/off and swings the rate
+/// between a trickle and a flood while a polite producer streams. The
+/// client-visible contract must hold through every flip — zero terminal
+/// failures, every record exactly once — and when the dust settles the
+/// admission accounting must drain to exactly zero (no leaked window
+/// bytes, no stuck queue bytes).
+#[test]
+fn quota_flapping_mid_ingest_preserves_exactly_once() {
+    let _serial = serial();
+    let quotas = QuotaConfig {
+        enabled: true,
+        produce_bytes_per_sec: 4 * 1024 * 1024,
+        burst_bytes: 64 * 1024,
+        fetch_bytes_per_sec: 0,
+        max_inflight_bytes: 512 * 1024,
+        admission_queue_bytes: 4 * 1024 * 1024,
+        // The flapping drill is about accounting, not abuse: keep the
+        // ladder out of the way so throttles never escalate.
+        reject_after_throttles: 100_000,
+        evict_after_rejections: 100_000,
+        evict_cooldown: Duration::from_secs(1),
+        zombie_idle: Duration::from_secs(30),
+    };
+    let cluster = quota_cluster(2, quotas, None);
+    let admission: Vec<_> =
+        cluster.broker_svcs.iter().map(|b| Arc::clone(b.admission())).collect();
+
+    let prod_rt = cluster.client(0);
+    let meta_p = MetadataClient::new(prod_rt.client(), cluster.coordinator());
+    meta_p.create_stream(stream_config(1)).unwrap();
+    let producer = Producer::new(
+        &meta_p,
+        &[StreamId(1)],
+        ProducerConfig {
+            id: ProducerId(0),
+            chunk_size: 512,
+            request_max_bytes: 16 * 1024,
+            ..ProducerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let flapper = std::thread::spawn(move || {
+        for i in 0..24u32 {
+            match i % 4 {
+                0 => admission.iter().for_each(|a| a.set_produce_rate(128 * 1024)),
+                1 => admission.iter().for_each(|a| a.set_enabled(false)),
+                2 => admission.iter().for_each(|a| {
+                    a.set_enabled(true);
+                    a.set_produce_rate(8 * 1024 * 1024);
+                }),
+                _ => admission.iter().for_each(|a| a.set_produce_rate(192 * 1024)),
+            }
+            std::thread::sleep(Duration::from_millis(40));
+        }
+        // Settle on: enabled, at the original configured rate.
+        admission.iter().for_each(|a| {
+            a.set_enabled(true);
+            a.set_produce_rate(4 * 1024 * 1024);
+        });
+    });
+
+    const TOTAL: u64 = 12_000;
+    for i in 0..TOTAL {
+        producer.send(StreamId(1), &payload(i)).unwrap();
+    }
+    producer.flush().unwrap();
+    flapper.join().unwrap();
+
+    assert_eq!(producer.failed_requests(), 0, "flapping caused terminal failures");
+    assert_eq!(producer.metrics().items(), TOTAL, "every send acknowledged");
+    assert!(producer.throttles() > 0, "trickle phases never throttled the producer");
+    producer.close().unwrap();
+
+    // Accounting drains to exactly zero once the pipeline quiesces: every
+    // permit released its queue bytes and its tenant window bytes, across
+    // enable/disable flips and rate swings.
+    std::thread::sleep(Duration::from_millis(100));
+    for b in &cluster.broker_svcs {
+        assert_eq!(b.admission().queue_bytes(), 0, "leaked admission queue bytes");
+        let snap = b.admission().snapshot(client_node(0).raw());
+        if snap.known {
+            assert_eq!(snap.inflight_bytes, 0, "leaked tenant window bytes");
+        }
+    }
+
+    // Exactly-once delivery of all 12k records, through all the flips.
+    let cons_rt = cluster.client(1);
+    let meta_c = MetadataClient::new(cons_rt.client(), cluster.coordinator());
+    let consumer = Consumer::new(
+        &meta_c,
+        &[Subscription::whole_stream(StreamId(1))],
+        ConsumerConfig { id: ConsumerId(0), fetch_max_bytes: 4096, ..ConsumerConfig::default() },
+    )
+    .unwrap();
+    let mut seen = drain(&consumer, TOTAL);
+    assert_eq!(seen.len() as u64, TOTAL, "record count after flapping");
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len() as u64, TOTAL, "duplicates after flapping");
+    consumer.close();
     cluster.shutdown();
 }

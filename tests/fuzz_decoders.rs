@@ -58,6 +58,54 @@ proptest! {
         let _ = RecoveryReadRequest::decode(&data);
         let _ = ReportCrashRequest::decode(&data);
         let _ = CrashReassignmentResponse::decode(&data);
+        let _ = QuotaStateRequest::decode(&data);
+        let _ = QuotaStateResponse::decode(&data);
+    }
+
+    /// The admission plane's wire surface (DESIGN.md §11): a `Throttled`
+    /// error envelope carries structured retry_after/window_hint extras
+    /// after the message. Truncating or bit-flipping the frame anywhere
+    /// must never panic in decode or `check_status`; a mangled extras
+    /// section degrades to "retry now, no hint" rather than erroring.
+    #[test]
+    fn mangled_throttled_envelope_never_panics(
+        retry_us in 0u64..10_000_000,
+        window in 0u64..(1 << 32),
+        cut in 0usize..256,
+        flip_byte in 0usize..128,
+        flip_bit in 0u8..8,
+    ) {
+        use kera::common::ids::NodeId;
+        use kera::common::KeraError;
+        use kera::wire::frames::{OpCode, StatusCode};
+
+        let err = KeraError::Throttled {
+            retry_after: std::time::Duration::from_micros(retry_us),
+            window_hint: window,
+        };
+        let env = Envelope::error_response(OpCode::Produce, 99, NodeId(1), &err);
+        let encoded = env.encode().to_vec();
+
+        // Truncation anywhere: decode errors or yields an envelope whose
+        // check_status still produces a structured error, never a panic.
+        let cut = cut % (encoded.len() + 1);
+        if let Ok(truncated) = Envelope::decode(&encoded[..cut]) {
+            let _ = truncated.check_status();
+        }
+
+        // A single bit flip: same contract, and if the status byte still
+        // says Throttled the error must come back as Throttled.
+        let mut mutant = encoded.clone();
+        let i = flip_byte % mutant.len();
+        mutant[i] ^= 1 << flip_bit;
+        if let Ok(decoded) = Envelope::decode(&mutant) {
+            let status = decoded.status;
+            match decoded.check_status() {
+                Err(KeraError::Throttled { .. }) => prop_assert_eq!(status, StatusCode::Throttled),
+                Err(_) => prop_assert!(status != StatusCode::Ok),
+                Ok(()) => prop_assert_eq!(status, StatusCode::Ok),
+            }
+        }
     }
 
     /// Truncating an encoded envelope anywhere never panics: cuts inside

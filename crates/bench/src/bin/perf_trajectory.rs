@@ -1,0 +1,351 @@
+//! Pinned perf-trajectory bench: the copy data plane (seed) vs the
+//! zero-copy data plane, measured in the same build.
+//!
+//! Three benches, each run in two child processes — one with
+//! `KERA_COPY_DATA_PLANE=1` (the seed's copy semantics, kept reachable
+//! behind the runtime switch) and one without (zero-copy) — so both
+//! sides go through the real library branches:
+//!
+//! - **append**: producer builds + seals chunks, packs a produce
+//!   request, broker unpacks it (ns per record).
+//! - **replication**: virtual-log gather + single-pack of a backup
+//!   write, backup-side decode + batch retention (ns per chunk).
+//! - **e2e**: one figure-9 point (KerA R2, 4 producers, chunk 16 KB,
+//!   one log per partition) through the full cluster (ns per record).
+//!
+//! Results land in `BENCH_append.json` / `BENCH_replication.json` /
+//! `BENCH_e2e.json` — at the repo root with `--pin` (the committed
+//! trajectory), under `results/tmp/` otherwise (smoke runs never
+//! clobber the pinned files). The run **fails** (non-zero exit) when a
+//! speedup falls below its gate, which is how `scripts/ci.sh` catches a
+//! zero-copy regression.
+
+use std::fmt::Write as _;
+use std::process::Command;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::{Bytes, BytesMut};
+use kera_common::copymode::copy_data_plane;
+use kera_common::ids::*;
+use kera_harness::rig::BenchRig;
+use kera_wire::chunk::{BufferPool, ChunkBuilder, ChunkIter};
+use kera_wire::frames::{Envelope, OpCode};
+use kera_wire::messages::{BackupWriteRequest, EncodedBackupWrite, ProduceRequest};
+use kera_wire::record::Record;
+
+/// Chunks packed per produce request / replication batch.
+const CHUNKS_PER_BATCH: usize = 8;
+/// Records per chunk in the micro benches.
+const RECORDS_PER_CHUNK: usize = 100;
+
+/// Minimum speedup (copy-mode time / zero-copy time) each bench must
+/// hold. The append path is where the tentpole removes three of five
+/// per-byte copies; replication removes the double pack; the e2e point
+/// is dominated by cluster machinery, so its gate only catches a real
+/// regression.
+const GATES: [(&str, f64); 3] = [("append", 1.20), ("replication", 1.05), ("e2e", 0.85)];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 4 && args[1] == "--child" {
+        let iters: u64 = args[3].parse().expect("child iters");
+        let ns_per_unit = match args[2].as_str() {
+            "append" => child_append(iters),
+            "replication" => child_replication(iters),
+            "e2e" => child_e2e(iters),
+            other => panic!("unknown child bench {other}"),
+        };
+        // The parent parses exactly this line.
+        println!("RESULT_NS_PER_UNIT {ns_per_unit}");
+        return;
+    }
+    let pin = args.iter().any(|a| a == "--pin");
+    parent(pin);
+}
+
+// ---------------------------------------------------------------------------
+// Parent: spawn each bench in both modes, write JSON, gate.
+// ---------------------------------------------------------------------------
+
+fn parent(pin: bool) {
+    let exe = std::env::current_exe().expect("current exe");
+    let out_dir = if pin {
+        std::path::PathBuf::from(".")
+    } else {
+        let d = std::path::PathBuf::from("results/tmp");
+        std::fs::create_dir_all(&d).expect("create results/tmp");
+        d
+    };
+    let benches: [(&str, u64, &str); 3] = [
+        ("append", 2_000, "ns_per_record"),
+        ("replication", 10_000, "ns_per_chunk"),
+        ("e2e", 60_000, "ns_per_record"),
+    ];
+    let mut failures = Vec::new();
+    for (name, iters, unit) in benches {
+        let before = run_child(&exe, name, iters, true);
+        let after = run_child(&exe, name, iters, false);
+        let speedup = before / after;
+        let gate = GATES.iter().find(|(n, _)| *n == name).map(|(_, g)| *g).unwrap();
+        let path = out_dir.join(format!("BENCH_{name}.json"));
+        std::fs::write(&path, trajectory_json(name, unit, gate, before, after, speedup))
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        let verdict = if speedup >= gate { "ok" } else { "REGRESSION" };
+        println!(
+            "{name:12} copy {before:10.1} {unit}   zero-copy {after:10.1} {unit}   \
+             speedup {speedup:.2}x (gate {gate:.2}x) {verdict}"
+        );
+        if speedup < gate {
+            failures.push(format!("{name}: {speedup:.2}x < gate {gate:.2}x"));
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("bench gate failed: {}", failures.join("; "));
+        std::process::exit(1);
+    }
+}
+
+fn run_child(exe: &std::path::Path, bench: &str, iters: u64, copy_mode: bool) -> f64 {
+    let out = Command::new(exe)
+        .args(["--child", bench, &iters.to_string()])
+        .env("KERA_COPY_DATA_PLANE", if copy_mode { "1" } else { "0" })
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bench} child: {e}"));
+    if !out.status.success() {
+        panic!(
+            "{bench} child (copy={copy_mode}) failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("RESULT_NS_PER_UNIT "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("{bench} child printed no result:\n{stdout}"))
+}
+
+fn trajectory_json(
+    name: &str,
+    unit: &str,
+    gate: f64,
+    before: f64,
+    after: f64,
+    speedup: f64,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"{name}\",");
+    let _ = writeln!(s, "  \"unit\": \"{unit}\",");
+    let _ = writeln!(s, "  \"gate_min_speedup\": {gate},");
+    let _ = writeln!(s, "  \"entries\": [");
+    let _ = writeln!(
+        s,
+        "    {{\"mode\": \"before\", \"label\": \"copy data plane (seed, \
+         KERA_COPY_DATA_PLANE=1)\", \"{unit}\": {before:.1}}},"
+    );
+    let _ = writeln!(
+        s,
+        "    {{\"mode\": \"after\", \"label\": \"zero-copy data plane\", \
+         \"{unit}\": {after:.1}}}"
+    );
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"speedup\": {speedup:.3}");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Children: each measures the real library path under the current mode.
+// ---------------------------------------------------------------------------
+
+/// Producer → broker append path: build + seal `CHUNKS_PER_BATCH`
+/// chunks, pack one produce request (mirroring the producer's requests
+/// thread), decode it broker-side and walk the chunk train. Returns ns
+/// per record.
+fn child_append(iters: u64) -> f64 {
+    let pool = BufferPool::new(64 * 1024, 16);
+    let mut builder =
+        ChunkBuilder::with_pool(Arc::clone(&pool), ProducerId(1), StreamId(1), StreamletId(0));
+    let payload = vec![7u8; 100];
+    let rec = Record::value_only(&payload);
+
+    let mut run = |n: u64| {
+        let start = Instant::now();
+        for _ in 0..n {
+            let mut chunks: Vec<Bytes> = Vec::with_capacity(CHUNKS_PER_BATCH);
+            let mut total = 0usize;
+            for _ in 0..CHUNKS_PER_BATCH {
+                for _ in 0..RECORDS_PER_CHUNK {
+                    assert!(builder.append(&rec));
+                }
+                let sealed = builder.seal();
+                total += sealed.len();
+                chunks.push(sealed);
+            }
+            // Pack the request the way the producer's requests thread
+            // does in each mode.
+            let payload = if copy_data_plane() {
+                let mut body = Vec::with_capacity(total);
+                for c in &chunks {
+                    body.extend_from_slice(c);
+                }
+                ProduceRequest {
+                    producer: ProducerId(1),
+                    recovery: false,
+                    chunk_count: CHUNKS_PER_BATCH as u32,
+                    chunks: Bytes::from(body),
+                }
+                .encode()
+            } else {
+                ProduceRequest::encode_chunks(ProducerId(1), false, &chunks)
+            };
+            for c in chunks {
+                pool.release(c);
+            }
+            // Transport hop, as `kera_rpc::tcp` runs it: the sender
+            // frames the envelope, the receiver reads the frame off the
+            // socket and decodes. The socket read copies in both modes;
+            // the seed additionally pre-copied the whole frame on tx
+            // (`Envelope::encode`) and copied the payload back out of
+            // it on rx (`Envelope::decode`).
+            let env = Envelope::request(OpCode::Produce, 1, NodeId(1), payload);
+            let rx: Bytes = if copy_data_plane() {
+                let frame = env.encode(); // tx assembles a contiguous frame
+                let mut sock = Vec::with_capacity(frame.len());
+                sock.extend_from_slice(&frame); // socket read
+                Bytes::from(sock)
+            } else {
+                // tx writes the 40-byte header and the payload as two
+                // gathered writes — no frame assembly.
+                let header = env.encode_header();
+                let mut sock = BytesMut::with_capacity(Envelope::HEADER_LEN + env.payload.len());
+                sock.extend_from_slice(&header); // socket read
+                sock.extend_from_slice(&env.payload);
+                sock.freeze()
+            };
+            let env = if copy_data_plane() {
+                Envelope::decode(&rx).unwrap()
+            } else {
+                Envelope::decode_bytes(&rx).unwrap()
+            };
+            // Broker side: unpack and walk the chunk train.
+            let req = if copy_data_plane() {
+                ProduceRequest::decode(&env.payload).unwrap()
+            } else {
+                ProduceRequest::decode_bytes(&env.payload).unwrap()
+            };
+            let mut records = 0u64;
+            for chunk in ChunkIter::new(&req.chunks) {
+                records += u64::from(chunk.unwrap().header().record_count);
+            }
+            assert_eq!(records, (CHUNKS_PER_BATCH * RECORDS_PER_CHUNK) as u64);
+        }
+        start.elapsed()
+    };
+
+    run(iters / 10 + 1); // warmup
+    let elapsed = run(iters);
+    elapsed.as_nanos() as f64 / (iters * (CHUNKS_PER_BATCH * RECORDS_PER_CHUNK) as u64) as f64
+}
+
+/// Virtual log → backup replication path: gather `CHUNKS_PER_BATCH`
+/// chunk slices into one backup write (the single pack), then the
+/// backup-side decode + batch retention. Returns ns per chunk.
+fn child_replication(iters: u64) -> f64 {
+    // Source material: sealed chunks standing in for segment regions
+    // (`ChunkRef::bytes()` also yields plain slices).
+    let mut builder = ChunkBuilder::new(64 * 1024, ProducerId(1), StreamId(1), StreamletId(0));
+    let payload = vec![5u8; 100];
+    let rec = Record::value_only(&payload);
+    let chunks: Vec<Bytes> = (0..CHUNKS_PER_BATCH)
+        .map(|_| {
+            for _ in 0..RECORDS_PER_CHUNK {
+                assert!(builder.append(&rec));
+            }
+            builder.seal()
+        })
+        .collect();
+    let total: usize = chunks.iter().map(|c| c.len()).sum();
+
+    let run = |n: u64| {
+        let start = Instant::now();
+        for i in 0..n {
+            let req = if copy_data_plane() {
+                // The seed's double copy: gather buffer, then encode.
+                let mut buf = BytesMut::with_capacity(total);
+                for c in &chunks {
+                    buf.extend_from_slice(c);
+                }
+                EncodedBackupWrite::from_request(&BackupWriteRequest {
+                    source_broker: NodeId(0),
+                    vlog: VirtualLogId(0),
+                    vseg: VirtualSegmentId(i),
+                    vseg_offset: 0,
+                    flags: 0,
+                    vseg_checksum: 0,
+                    chunk_count: CHUNKS_PER_BATCH as u32,
+                    chunks: buf.freeze(),
+                })
+            } else {
+                EncodedBackupWrite::pack(
+                    NodeId(0),
+                    VirtualLogId(0),
+                    VirtualSegmentId(i),
+                    0,
+                    0,
+                    0,
+                    CHUNKS_PER_BATCH as u32,
+                    total,
+                    chunks.iter().map(|c| c.as_ref()),
+                )
+            };
+            // Backup side: decode off the shared body and retain the
+            // batch the way `BackupService::handle_write` does.
+            let decoded = if copy_data_plane() {
+                BackupWriteRequest::decode(req.body()).unwrap()
+            } else {
+                req.request().unwrap()
+            };
+            let batch = if copy_data_plane() {
+                Bytes::copy_from_slice(&decoded.chunks)
+            } else {
+                decoded.chunks.clone()
+            };
+            assert_eq!(batch.len(), total);
+        }
+        start.elapsed()
+    };
+
+    run(iters / 10 + 1); // warmup
+    let elapsed = run(iters);
+    elapsed.as_nanos() as f64 / (iters * CHUNKS_PER_BATCH as u64) as f64
+}
+
+/// One figure-9 point end to end: KerA, 4 producers, 128 streams, chunk
+/// 16 KB, R2, one log per partition. Simulated storage IO cost is
+/// disabled so the data plane (not the modeled disk) dominates. Returns
+/// ns per acknowledged record.
+fn child_e2e(records: u64) -> f64 {
+    use kera_harness::experiment::{ExperimentConfig, SystemKind};
+    use kera_common::config::VirtualLogPolicy;
+
+    let cfg = ExperimentConfig {
+        system: SystemKind::Kera,
+        producers: 4,
+        consumers: 0,
+        streams: 128,
+        streamlets_per_stream: 1,
+        chunk_size: 16 * 1024,
+        replication_factor: 2,
+        vlog_policy: VirtualLogPolicy::PerStreamlet,
+        io_cost_ns: 0,
+        ..ExperimentConfig::default()
+    };
+    let rig = BenchRig::start(&cfg).expect("start fig09 rig");
+    rig.ingest(records / 10 + 1); // warmup
+    let elapsed = rig.ingest(records);
+    rig.stop();
+    elapsed.as_nanos() as f64 / records as f64
+}

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use kera_common::checksum::Crc32c;
+use kera_common::copymode::copy_data_plane;
 use kera_common::ids::{NodeId, VirtualLogId, VirtualSegmentId};
 use kera_common::metrics::Counter;
 use kera_common::{KeraError, Result};
@@ -32,11 +33,34 @@ use parking_lot::{Mutex, RwLock};
 type SegKey = (NodeId, VirtualLogId, VirtualSegmentId);
 
 struct ReplicatedSegment {
-    buf: Vec<u8>,
+    /// Replication batches in arrival order, each holding the (shared)
+    /// chunk train of one `BackupWrite`. Concatenated they are the
+    /// segment's bytes; keeping them as slices means the synchronous
+    /// replication path never copies the payload.
+    batches: Vec<Bytes>,
+    /// Total bytes across `batches` (the durable offset).
+    len: usize,
     closed: bool,
     /// Running checksum over chunk checksums, must match the CLOSE
     /// request's `vseg_checksum`.
     checksum: Crc32c,
+}
+
+impl ReplicatedSegment {
+    /// The segment's bytes as one contiguous buffer (cold paths only:
+    /// the secondary-storage flush and recovery reads).
+    fn contents(&self) -> Bytes {
+        match self.batches.as_slice() {
+            [single] => single.clone(),
+            batches => {
+                let mut buf = Vec::with_capacity(self.len);
+                for b in batches {
+                    buf.extend_from_slice(b);
+                }
+                Bytes::from(buf)
+            }
+        }
+    }
 }
 
 /// The backup service of one node.
@@ -107,7 +131,7 @@ impl BackupService {
 
     /// Total bytes held across replicated segments.
     pub fn bytes_held(&self) -> usize {
-        self.segments.read().values().map(|s| s.lock().buf.len()).sum()
+        self.segments.read().values().map(|s| s.lock().len).sum()
     }
 
     fn handle_write(&self, req: BackupWriteRequest) -> Result<BackupWriteResponse> {
@@ -127,7 +151,8 @@ impl BackupService {
                 let mut guard = self.segments.write();
                 Arc::clone(guard.entry(key).or_insert_with(|| {
                     Arc::new(Mutex::named("backup.segment", ReplicatedSegment {
-                        buf: Vec::new(),
+                        batches: Vec::new(),
+                        len: 0,
                         closed: false,
                         checksum: Crc32c::new(),
                     }))
@@ -137,14 +162,14 @@ impl BackupService {
 
         let mut seg = entry.lock();
         let offset = req.vseg_offset as usize;
-        if offset < seg.buf.len() {
+        if offset < seg.len {
             // Duplicate (retried) batch: idempotent ack.
-            return Ok(BackupWriteResponse { durable_offset: seg.buf.len() as u32 });
+            return Ok(BackupWriteResponse { durable_offset: seg.len as u32 });
         }
-        if offset > seg.buf.len() {
+        if offset > seg.len {
             return Err(KeraError::Protocol(format!(
                 "backup write at offset {offset} but segment holds {} bytes (hole)",
-                seg.buf.len()
+                seg.len
             )));
         }
         if seg.closed && !req.chunks.is_empty() {
@@ -169,7 +194,20 @@ impl BackupService {
         for k in checksums {
             seg.checksum.update_u32(k);
         }
-        seg.buf.extend_from_slice(&req.chunks);
+        if !req.chunks.is_empty() {
+            let batch = if copy_data_plane() {
+                // lint: allow(no-hot-copy) — the seed's buffer append,
+                // kept reachable behind KERA_COPY_DATA_PLANE=1 for the
+                // bench trajectory.
+                Bytes::copy_from_slice(&req.chunks)
+            } else {
+                // The batch is a slice of the receive buffer.
+                // lint: allow(no-hot-copy) — refcount clone, not a copy
+                req.chunks.clone()
+            };
+            seg.len += batch.len();
+            seg.batches.push(batch);
+        }
         self.writes.inc();
         self.chunks_received.add(u64::from(count));
         self.bytes_received.add(req.chunks.len() as u64);
@@ -187,7 +225,7 @@ impl BackupService {
             // Secondary-storage flush: one large asynchronous IO per
             // closed virtual segment (amortized over the whole segment).
             let mut flush_span = self.obs.span(Stage::Flush, kera_obs::current());
-            flush_span.set_aux(seg.buf.len() as u64);
+            flush_span.set_aux(seg.len as u64);
             if self.io_cost_ns > 0 {
                 kera_common::timing::spin_for_ns(self.io_cost_ns);
             }
@@ -199,12 +237,12 @@ impl BackupService {
                         req.vlog.raw(),
                         req.vseg.raw()
                     ),
-                    Bytes::copy_from_slice(&seg.buf),
+                    seg.contents(),
                 );
             }
             flush_span.finish();
         }
-        Ok(BackupWriteResponse { durable_offset: seg.buf.len() as u32 })
+        Ok(BackupWriteResponse { durable_offset: seg.len as u32 })
     }
 
     fn handle_free(&self, source: NodeId, vlog: VirtualLogId) -> Result<()> {
@@ -219,7 +257,7 @@ impl BackupService {
             .filter(|((b, _, _), _)| *b == req.crashed_broker)
             .map(|(&(_, vlog, vseg), s)| {
                 let s = s.lock();
-                ReplicatedSegmentInfo { vlog, vseg, len: s.buf.len() as u32, closed: s.closed }
+                ReplicatedSegmentInfo { vlog, vseg, len: s.len as u32, closed: s.closed }
             })
             .collect();
         segments.sort_by_key(|s| (s.vlog, s.vseg));
@@ -234,7 +272,7 @@ impl BackupService {
                 self.node, req.crashed_broker, req.vlog, req.vseg
             ))
         })?;
-        let data = Bytes::copy_from_slice(&seg.lock().buf);
+        let data = seg.lock().contents();
         Ok(data)
     }
 }
@@ -244,7 +282,9 @@ impl Service for BackupService {
         match ctx.opcode {
             OpCode::Ping => Ok(Bytes::new()),
             OpCode::BackupWrite => {
-                let req = BackupWriteRequest::decode(&payload)?;
+                // Slice the chunk train out of the receive buffer; the
+                // retained batch shares that allocation.
+                let req = BackupWriteRequest::decode_bytes(&payload)?;
                 Ok(self.handle_write(req)?.encode())
             }
             OpCode::BackupFree => {

@@ -337,6 +337,7 @@ impl BrokerService {
                 w.u32(self.node.raw()).u32(vlog.id().raw());
                 let payload = w.finish();
                 for &backup in self.vlogs.cluster_backups() {
+                    // lint: allow(no-hot-copy) — refcount clone of a tiny control frame
                     let _ = rpc.call_async(backup, OpCode::BackupFree, payload.clone());
                 }
             }
@@ -379,7 +380,9 @@ impl Service for BrokerService {
             // Recovery re-ingestion is "handled as a normal producer
             // request" (paper §IV-B).
             OpCode::Produce | OpCode::RecoveryIngest => {
-                let req = ProduceRequest::decode(&payload)?;
+                // Slice the chunk train straight out of the receive
+                // buffer: the broker never re-owns the payload.
+                let req = ProduceRequest::decode_bytes(&payload)?;
                 // Admission gate, before any append work. Recovery
                 // re-ingestion bypasses it: throttling our own crash
                 // recovery would turn overload into data loss. The
@@ -407,7 +410,7 @@ impl Service for BrokerService {
                 let resp = self.handle_fetch(req)?;
                 let served: u64 = resp.results.iter().map(|r| r.data.len() as u64).sum();
                 self.admission.charge_fetch(ctx.from, served);
-                Ok(resp.encode())
+                resp.encode()
             }
             OpCode::QuotaState => {
                 let req = QuotaStateRequest::decode(&payload)?;

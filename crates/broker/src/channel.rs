@@ -16,7 +16,7 @@ use kera_common::{KeraError, Result};
 use kera_rpc::RpcClient;
 use kera_vlog::channel::BackupChannel;
 use kera_wire::frames::OpCode;
-use kera_wire::messages::{BackupWriteRequest, BackupWriteResponse};
+use kera_wire::messages::{BackupWriteResponse, EncodedBackupWrite};
 
 /// Ships replication batches over the RPC fabric.
 pub struct RpcBackupChannel {
@@ -34,13 +34,16 @@ impl BackupChannel for RpcBackupChannel {
     fn replicate(
         &self,
         backups: &[NodeId],
-        req: &BackupWriteRequest,
+        req: &EncodedBackupWrite,
     ) -> Result<BackupWriteResponse> {
-        // Encode once; the payload Bytes is shared by all fan-out sends.
-        let payload = req.encode();
+        // Already on the wire format: the one body is shared by all
+        // fan-out sends without re-encoding.
+        // lint: allow(no-hot-copy) — refcount clone of the shared body
+        let payload = req.body().clone();
         let overall = Instant::now() + self.timeout;
         let calls: Vec<_> = backups
             .iter()
+            // lint: allow(no-hot-copy) — refcount clone per fan-out send
             .map(|&b| (b, self.client.call_async(b, OpCode::BackupWrite, payload.clone())))
             .collect();
         let mut last = BackupWriteResponse { durable_offset: 0 };

@@ -371,10 +371,10 @@ impl CoordinatorService {
     /// current-term entries, and a higher observed term deposes us.
     fn run_append_round(&self, batches: Vec<(NodeId, MetaAppendRequest)>) -> Result<()> {
         let client = self.client()?;
-        let calls: Vec<(NodeId, PendingCall)> = batches
-            .into_iter()
-            .map(|(peer, req)| (peer, client.call_async(peer, OpCode::MetaAppend, req.encode())))
-            .collect();
+        let mut calls: Vec<(NodeId, PendingCall)> = Vec::with_capacity(batches.len());
+        for (peer, req) in batches {
+            calls.push((peer, client.call_async(peer, OpCode::MetaAppend, req.encode()?)));
+        }
         let round_deadline = Instant::now() + self.round_timeout();
         let mut responses = Vec::new();
         for (peer, call) in calls {
@@ -820,6 +820,7 @@ impl CoordinatorService {
         let calls: Vec<_> = metadata
             .brokers()
             .into_iter()
+            // lint: allow(no-hot-copy) — refcount clone of a tiny control frame
             .map(|b| client.call_async(b, OpCode::DeleteStream, payload.clone()))
             .collect();
         for c in calls {

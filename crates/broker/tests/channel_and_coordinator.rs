@@ -16,8 +16,8 @@ use kera_vlog::channel::BackupChannel;
 use kera_wire::chunk::ChunkBuilder;
 use kera_wire::frames::OpCode;
 use kera_wire::messages::{
-    backup_flags, BackupWriteRequest, CreateStreamRequest, GetMetadataRequest, ReportCrashRequest,
-    StreamMetadata,
+    backup_flags, BackupWriteRequest, CreateStreamRequest, EncodedBackupWrite, GetMetadataRequest,
+    ReportCrashRequest, StreamMetadata,
 };
 use kera_wire::record::Record;
 
@@ -27,8 +27,8 @@ fn chunk_bytes() -> Bytes {
     b.seal()
 }
 
-fn write_req(chunks: Bytes, count: u32) -> BackupWriteRequest {
-    BackupWriteRequest {
+fn write_req(chunks: Bytes, count: u32) -> EncodedBackupWrite {
+    EncodedBackupWrite::from_request(&BackupWriteRequest {
         source_broker: NodeId(1),
         vlog: VirtualLogId(0),
         vseg: VirtualSegmentId(0),
@@ -37,7 +37,7 @@ fn write_req(chunks: Bytes, count: u32) -> BackupWriteRequest {
         vseg_checksum: 0,
         chunk_count: count,
         chunks,
-    }
+    })
 }
 
 #[test]

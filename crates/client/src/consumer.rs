@@ -359,7 +359,9 @@ fn requests_loop(shared: Arc<Shared>, states: SharedStates, cache_tx: Sender<Fet
                 }
                 Err(_) => continue,
             };
-            let Ok(resp) = FetchResponse::decode(&payload) else { continue };
+            // Sliced decode: each result's data stays a view of the
+            // receive buffer all the way into the consumer cache.
+            let Ok(resp) = FetchResponse::decode_bytes(&payload) else { continue };
             for (result, &i) in resp.results.iter().zip(&idxs) {
                 {
                     let mut st = states.lock();
@@ -372,6 +374,7 @@ fn requests_loop(shared: Arc<Shared>, states: SharedStates, cache_tx: Sender<Fet
                         stream: result.stream,
                         streamlet: result.streamlet,
                         slot: result.slot,
+                        // lint: allow(no-hot-copy) — refcount clone of the fetched slice
                         data: result.data.clone(),
                     };
                     // Blocking push: a full cache pauses fetching.

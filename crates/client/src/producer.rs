@@ -15,11 +15,12 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender};
+use kera_common::copymode::copy_data_plane;
 use kera_common::ids::{NodeId, ProducerId, StreamId};
 use kera_common::metrics::{Counter, LatencyHistogram, ThroughputMeter};
 use kera_common::{KeraError, Result};
 use kera_rpc::RpcClient;
-use kera_wire::chunk::ChunkBuilder;
+use kera_wire::chunk::{BufferPool, ChunkBuilder};
 use kera_wire::frames::OpCode;
 use kera_wire::messages::{ProduceRequest, ProduceResponse, StreamMetadata};
 use kera_wire::record::Record;
@@ -160,6 +161,10 @@ struct Shared {
     pub throttled: Arc<Counter>,
     /// In-flight window + throttle pacing (lock class `client.window`).
     window: Mutex<WindowState>,
+    /// Chunk buffers cycle through here: builders draw fresh buffers,
+    /// the requests thread returns them once a chunk has been packed
+    /// into a request body.
+    pool: Arc<BufferPool>,
 }
 
 /// A producer client.
@@ -176,10 +181,14 @@ impl Producer {
         cfg: ProducerConfig,
     ) -> Result<Producer> {
         let (ready_tx, ready_rx) = channel::bounded(cfg.queue_capacity.max(1));
+        // Enough pooled buffers to cover every pending slot plus a
+        // queue's worth of sealed chunks, bounded so an oversized
+        // queue_capacity cannot pin unbounded memory.
+        let pool = BufferPool::new(cfg.chunk_size, cfg.queue_capacity.clamp(8, 256));
         let mut routes = HashMap::new();
         for &s in streams {
             let md = meta.metadata(s)?;
-            routes.insert(s, Arc::new(Self::route_for(&cfg, md)));
+            routes.insert(s, Arc::new(Self::route_for(&cfg, &pool, md)));
         }
         let rpc = meta.rpc().clone();
         // Client metrics live in the node's registry, labelled by
@@ -217,6 +226,7 @@ impl Producer {
             failed_requests,
             throttled,
             window,
+            pool,
         });
         let requests_thread = {
             let shared = Arc::clone(&shared);
@@ -228,12 +238,12 @@ impl Producer {
         Ok(Producer { shared, requests_thread: Some(requests_thread) })
     }
 
-    fn route_for(cfg: &ProducerConfig, metadata: StreamMetadata) -> StreamRoute {
+    fn route_for(cfg: &ProducerConfig, pool: &Arc<BufferPool>, metadata: StreamMetadata) -> StreamRoute {
         let pending = (0..metadata.config.streamlets)
             .map(|sl| {
                 Mutex::new(PendingChunk {
-                    builder: ChunkBuilder::new(
-                        cfg.chunk_size,
+                    builder: ChunkBuilder::with_pool(
+                        Arc::clone(pool),
                         cfg.id,
                         metadata.config.id,
                         kera_common::ids::StreamletId(sl),
@@ -483,8 +493,9 @@ fn requests_loop(shared: Arc<Shared>, ready_rx: Receiver<SealedChunk>) {
 
         // Group into one request per broker, respecting request_max_bytes,
         // the pipeline bound and the in-flight window; overflow returns
-        // to the backlog.
-        let mut per_broker: HashMap<NodeId, (Vec<u8>, u32, u32)> = HashMap::new();
+        // to the backlog. Chunks are collected as shared slices — the
+        // single copy into a contiguous request body happens at encode.
+        let mut per_broker: HashMap<NodeId, (Vec<Bytes>, usize, u32, u32)> = HashMap::new();
         // Brokers with a chunk already sent back to the backlog this
         // round. Once one chunk for a broker is held back, every later
         // chunk for it must be held back too: a smaller (linger-sealed)
@@ -513,10 +524,9 @@ fn requests_loop(shared: Arc<Shared>, ready_rx: Receiver<SealedChunk>) {
                 continue;
             }
             let fresh_entry = !per_broker.contains_key(&c.broker);
-            let entry = per_broker.entry(c.broker).or_insert_with(|| {
-                (Vec::with_capacity(shared.cfg.request_max_bytes.min(1 << 20)), 0, 0)
-            });
-            if entry.1 > 0 && entry.0.len() + c.bytes.len() > shared.cfg.request_max_bytes {
+            let entry =
+                per_broker.entry(c.broker).or_insert_with(|| (Vec::new(), 0, 0, 0));
+            if entry.2 > 0 && entry.1 + c.bytes.len() > shared.cfg.request_max_bytes {
                 held.push(c.broker);
                 backlog.push(c);
                 continue;
@@ -529,31 +539,52 @@ fn requests_loop(shared: Arc<Shared>, ready_rx: Receiver<SealedChunk>) {
                     *r -= 1;
                 }
             }
-            entry.0.extend_from_slice(&c.bytes);
-            entry.1 += 1;
-            entry.2 += c.records;
+            entry.1 += c.bytes.len();
+            entry.0.push(c.bytes);
+            entry.2 += 1;
+            entry.3 += c.records;
         }
 
         let sent_any = !per_broker.is_empty();
         let pipeline_one = pipeline == 1;
-        for (broker, (body, chunks, records)) in per_broker {
-            let req = ProduceRequest {
-                producer: shared.cfg.id,
-                recovery: false,
-                chunk_count: chunks,
-                chunks: Bytes::from(body),
+        for (broker, (chunks, chunk_bytes, chunk_count, records)) in per_broker {
+            let payload = if copy_data_plane() {
+                // lint: allow(no-hot-copy) — the seed's double pack
+                // (gather body, then struct encode copies it again),
+                // kept reachable behind KERA_COPY_DATA_PLANE=1 for
+                // the bench trajectory.
+                let mut body = Vec::with_capacity(chunk_bytes);
+                for c in &chunks {
+                    body.extend_from_slice(c);
+                }
+                ProduceRequest {
+                    producer: shared.cfg.id,
+                    recovery: false,
+                    chunk_count,
+                    chunks: Bytes::from(body),
+                }
+                .encode()
+            } else {
+                ProduceRequest::encode_chunks(shared.cfg.id, false, &chunks)
             };
+            // The sealed chunk buffers have been packed into the request
+            // body; hand them back to the pool for the builders to reuse.
+            for c in chunks {
+                shared.pool.release(c);
+            }
             {
                 let mut w = shared.window.lock();
-                w.inflight_bytes += req.chunks.len() as u64;
+                w.inflight_bytes += chunk_bytes as u64;
                 w.inflight_requests += 1;
             }
-            let call = shared.rpc.call_async(broker, OpCode::Produce, req.encode());
+            // lint: allow(no-hot-copy) — refcount clone; retry keeps the other handle
+            let call = shared.rpc.call_async(broker, OpCode::Produce, payload.clone());
             inflight.entry(broker).or_default().push_back(InFlight {
                 call,
-                req,
+                payload,
+                chunk_bytes: chunk_bytes as u64,
                 broker,
-                chunks,
+                chunks: chunk_count,
                 records,
                 started: Instant::now(),
             });
@@ -599,7 +630,11 @@ fn requests_loop(shared: Arc<Shared>, ready_rx: Receiver<SealedChunk>) {
 /// One produce request on the wire.
 struct InFlight {
     call: kera_rpc::node::PendingCall,
-    req: ProduceRequest,
+    /// The encoded request body, retained verbatim for retries (dedup
+    /// tags make re-sends exactly-once on the broker).
+    payload: Bytes,
+    /// Chunk bytes inside the request (window accounting).
+    chunk_bytes: u64,
     broker: NodeId,
     chunks: u32,
     records: u32,
@@ -688,7 +723,8 @@ fn complete(shared: &Shared, inf: InFlight, mut result: Result<Bytes>) {
         result = shared.rpc.call(
             inf.broker,
             OpCode::Produce,
-            inf.req.encode(),
+            // lint: allow(no-hot-copy) — refcount clone for the retransmit
+            inf.payload.clone(),
             shared.cfg.call_timeout,
         );
     }
@@ -697,7 +733,7 @@ fn complete(shared: &Shared, inf: InFlight, mut result: Result<Bytes>) {
             if let Ok(resp) = ProduceResponse::decode(&payload) {
                 debug_assert_eq!(resp.acks.len() as u32, inf.chunks);
             }
-            shared.acked.record(u64::from(inf.records), inf.req.chunks.len() as u64);
+            shared.acked.record(u64::from(inf.records), inf.chunk_bytes);
             shared.request_latency.record(inf.started.elapsed());
         }
         Err(_) => {
@@ -706,7 +742,7 @@ fn complete(shared: &Shared, inf: InFlight, mut result: Result<Bytes>) {
     }
     {
         let mut w = shared.window.lock();
-        w.inflight_bytes = w.inflight_bytes.saturating_sub(inf.req.chunks.len() as u64);
+        w.inflight_bytes = w.inflight_bytes.saturating_sub(inf.chunk_bytes);
         w.inflight_requests = w.inflight_requests.saturating_sub(1);
     }
     shared.outstanding.fetch_sub(u64::from(inf.chunks), Ordering::AcqRel);

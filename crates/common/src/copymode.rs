@@ -1,0 +1,28 @@
+//! Runtime switch between the zero-copy data plane and the seed's
+//! copying data plane.
+//!
+//! The zero-copy port (DESIGN.md §12) leaves the seed's copy semantics
+//! reachable behind `KERA_COPY_DATA_PLANE=1` so the perf-trajectory
+//! benches (`kera-bench`, `BENCH_*.json`) can measure before/after in
+//! the *same binary* — same compiler, same allocator, same machine —
+//! instead of comparing numbers across builds. The switch is read once
+//! and cached: the hot path pays one relaxed atomic load, never a
+//! `getenv` syscall.
+//!
+//! This is a diagnostic/bench knob, not a supported configuration; both
+//! modes produce byte-identical frames on the wire (proven by the
+//! equivalence tests in `kera-bench`), they differ only in how many
+//! times a payload byte is memcpy'd on its way from producer to backup.
+
+use std::sync::OnceLock;
+
+/// True when `KERA_COPY_DATA_PLANE=1` is set: data-plane hops fall back
+/// to the seed's eager-copy behavior (chunk seal copies out of the
+/// builder, request decode copies payloads out of the frame, replication
+/// re-gathers and re-encodes its body).
+pub fn copy_data_plane() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| {
+        std::env::var("KERA_COPY_DATA_PLANE").map(|v| v == "1").unwrap_or(false)
+    })
+}

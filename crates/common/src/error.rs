@@ -79,6 +79,16 @@ pub enum KeraError {
         /// Human-readable refusal reason.
         reason: String,
     },
+    /// An encoder was handed a buffer too large for its `u32` length
+    /// field. Truncating the cast would produce a frame that *decodes*
+    /// — with a silently wrong length — so this must surface as an
+    /// error at encode time, never on the wire.
+    EncodeOverflow {
+        /// Which length field overflowed.
+        what: &'static str,
+        /// The length that did not fit in `u32`.
+        len: usize,
+    },
 }
 
 impl KeraError {
@@ -135,6 +145,9 @@ impl fmt::Display for KeraError {
                 retry_after.as_micros()
             ),
             KeraError::Rejected { reason } => write!(f, "rejected by admission control: {reason}"),
+            KeraError::EncodeOverflow { what, len } => {
+                write!(f, "{what} of {len} bytes exceeds the u32 length field")
+            }
         }
     }
 }

@@ -19,6 +19,7 @@
 
 pub mod checksum;
 pub mod config;
+pub mod copymode;
 pub mod error;
 pub mod ids;
 pub mod metrics;

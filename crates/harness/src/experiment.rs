@@ -53,6 +53,15 @@ fn env_flag(name: &str, default: bool) -> bool {
     std::env::var(name).map(|v| !v.is_empty() && v != "0").unwrap_or(default)
 }
 
+/// Canonical full measurement window. Figure TSVs under `results/` are
+/// only comparable when measured with exactly this window; any override
+/// (`KERA_WARMUP_MS` / `KERA_MEASURE_MS`) marks the run as a smoke run,
+/// which [`crate::report::figure_main`] routes to `results/tmp/` so it
+/// can never clobber the committed reference results.
+pub const FULL_WARMUP: Duration = Duration::from_millis(750);
+/// See [`FULL_WARMUP`].
+pub const FULL_MEASURE: Duration = Duration::from_millis(2000);
+
 /// Full description of one experiment point.
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
@@ -141,8 +150,8 @@ impl Default for ExperimentConfig {
             vlog_policy: VirtualLogPolicy::SharedPerBroker(4),
             segment_size: 1 << 20,
             vseg_size: 1 << 20,
-            warmup: env_ms("KERA_WARMUP_MS", 750),
-            measure: env_ms("KERA_MEASURE_MS", 2000),
+            warmup: env_ms("KERA_WARMUP_MS", FULL_WARMUP.as_millis() as u64),
+            measure: env_ms("KERA_MEASURE_MS", FULL_MEASURE.as_millis() as u64),
             kafka_fetch_wait: Duration::from_millis(500),
             producer_pipeline: 1,
             io_cost_ns: env_usize("KERA_IO_COST_NS", 30_000) as u64,

@@ -140,22 +140,52 @@ pub fn write_metrics_json(path: &Path, rows: &[Row]) -> Result<()> {
     Ok(())
 }
 
+/// Output directory for a figure run measured with the given window.
+///
+/// Only the canonical full window may write the committed reference
+/// files under `results/` — every other window (bench smoke, quick
+/// local iteration with `KERA_MEASURE_MS=200`, CI spot checks) lands in
+/// `results/tmp/`, which is gitignored. Guards against the class of
+/// incident where a short smoke run silently overwrote `fig08.tsv` and
+/// the truncated numbers got committed as if they were a reference
+/// measurement.
+pub fn results_dir(warmup: std::time::Duration, measure: std::time::Duration) -> &'static Path {
+    use crate::experiment::{FULL_MEASURE, FULL_WARMUP};
+    if warmup == FULL_WARMUP && measure == FULL_MEASURE {
+        Path::new("results")
+    } else {
+        Path::new("results/tmp")
+    }
+}
+
 /// Standard entry point for the per-figure binaries: runs the figure and
-/// stores `results/<id>.tsv` plus `results/<id>-metrics.json`.
+/// stores `<dir>/<id>.tsv` plus `<dir>/<id>-metrics.json`, where `<dir>`
+/// is chosen by [`results_dir`] from the run's measurement window.
 pub fn figure_main(id: &str) {
     let fig = crate::figures::figure(id).unwrap_or_else(|| {
         eprintln!("unknown figure {id}");
         std::process::exit(2);
     });
+    let window = crate::experiment::ExperimentConfig::default();
+    let dir = results_dir(window.warmup, window.measure);
+    if dir != Path::new("results") {
+        println!(
+            "measurement window {:?}/{:?} differs from the canonical full window — \
+             writing to {} (reference results/ left untouched)",
+            window.warmup,
+            window.measure,
+            dir.display()
+        );
+    }
     match run_figure(&fig) {
         Ok(rows) => {
-            let path = std::path::PathBuf::from("results").join(format!("{id}.tsv"));
+            let path = dir.join(format!("{id}.tsv"));
             if let Err(e) = write_tsv(&path, &rows) {
                 eprintln!("could not write {}: {e}", path.display());
             } else {
                 println!("wrote {}", path.display());
             }
-            let mpath = std::path::PathBuf::from("results").join(format!("{id}-metrics.json"));
+            let mpath = dir.join(format!("{id}-metrics.json"));
             if let Err(e) = write_metrics_json(&mpath, &rows) {
                 eprintln!("could not write {}: {e}", mpath.display());
             } else {
@@ -224,6 +254,27 @@ mod tests {
         assert!(text.contains("\"metrics\":{\"node\":0}"), "{text}");
         assert!(text.trim_start().starts_with('['), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn smoke_windows_route_to_tmp() {
+        use crate::experiment::{FULL_MEASURE, FULL_WARMUP};
+        use std::time::Duration;
+        // Only the exact canonical window writes the reference files.
+        assert_eq!(results_dir(FULL_WARMUP, FULL_MEASURE), Path::new("results"));
+        // Shorter, longer, or partially-overridden windows are smoke runs.
+        assert_eq!(
+            results_dir(Duration::from_millis(300), Duration::from_millis(1200)),
+            Path::new("results/tmp")
+        );
+        assert_eq!(
+            results_dir(FULL_WARMUP, Duration::from_millis(200)),
+            Path::new("results/tmp")
+        );
+        assert_eq!(
+            results_dir(Duration::from_secs(5), FULL_MEASURE),
+            Path::new("results/tmp")
+        );
     }
 
     #[test]

@@ -290,7 +290,7 @@ impl Service for KafkaBrokerService {
             }
             OpCode::Fetch => {
                 let req = FetchRequest::decode(&payload)?;
-                Ok(self.handle_fetch(req)?.encode())
+                self.handle_fetch(req)?.encode()
             }
             OpCode::Seek => {
                 let req = SeekRequest::decode(&payload)?;
@@ -366,7 +366,7 @@ impl Service for KafkaReplicaService {
             OpCode::Ping => Ok(Bytes::new()),
             OpCode::FollowerFetch => {
                 let req = FollowerFetchRequest::decode(&payload)?;
-                Ok(self.handle_follower_fetch(req)?.encode())
+                self.handle_follower_fetch(req)?.encode()
             }
             other => Err(KeraError::Protocol(format!("replica service cannot serve {other:?}"))),
         }

@@ -23,11 +23,21 @@ pub const RULE_STD_LOCK: &str = "std-lock";
 pub const RULE_NO_PANIC: &str = "no-panic";
 pub const RULE_SAFETY: &str = "safety-comment";
 pub const RULE_NO_PRINTLN: &str = "no-println-hot-path";
+pub const RULE_NO_HOT_COPY: &str = "no-hot-copy";
 
 /// Method names that acquire a lock guard when called with no arguments.
 const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
 /// Method names that cross an RPC / replication boundary.
 const RPC_METHODS: [&str; 3] = ["call", "call_async", "replicate"];
+/// Receiver identifiers that, by workspace convention, carry record
+/// payload bytes. `.to_vec()` / `.clone()` on one of these in a
+/// `copy_crates` crate is a full-payload copy on the data plane — the
+/// zero-copy invariant the `no-hot-copy` rule protects. Cheap refcount
+/// clones (`Bytes`) still match; annotate them with
+/// `// lint: allow(no-hot-copy) — refcount clone` so every survivor in
+/// the hot path is an audited decision, not an accident.
+const PAYLOAD_RECEIVERS: [&str; 7] =
+    ["payload", "chunks", "data", "buf", "body", "bytes", "batch"];
 
 struct Guard {
     /// Receiver identifier the guard came from (for messages).
@@ -137,6 +147,7 @@ fn token_pass(
     let mut findings = Vec::new();
     let hot_path = cfg.hot_path_crates.iter().any(|c| c == krate);
     let println_banned = cfg.println_crates.iter().any(|c| c == krate);
+    let copy_banned = cfg.copy_crates.iter().any(|c| c == krate);
 
     let is_punct = |i: usize, s: &str| {
         toks.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
@@ -298,6 +309,28 @@ fn token_pass(
                          annotate `// lint: allow(no-panic) — <reason>`"
                     ),
                 ));
+            }
+            (TokKind::Ident, m @ ("to_vec" | "clone"))
+                if is_punct(i + 1, "(")
+                    && is_punct(i + 2, ")")
+                    && i > 0
+                    && toks[i - 1].text == "."
+                    && copy_banned
+                    && !in_test =>
+            {
+                let recv = receiver_of(toks, i).unwrap_or_default();
+                if PAYLOAD_RECEIVERS.contains(&recv.as_str()) {
+                    findings.push(finding(
+                        path,
+                        t.line,
+                        RULE_NO_HOT_COPY,
+                        format!(
+                            "`{recv}.{m}()` copies a payload on the data plane — slice a \
+                             `Bytes` view instead, or annotate \
+                             `// lint: allow(no-hot-copy) — <reason>` (e.g. refcount clone)"
+                        ),
+                    ));
+                }
             }
             (TokKind::Ident, m)
                 if RPC_METHODS.contains(&m)
@@ -514,6 +547,7 @@ mod tests {
 order = ["a.outer", "b.inner"]
 [rules]
 hot_path_crates = ["hot"]
+copy_crates = ["hot"]
 [aliases]
 outer = "a.outer"
 inner = "b.inner"
@@ -655,6 +689,34 @@ inner = "b.inner"
     fn multiline_safety_block_covers_following_unsafe() {
         let src = "// SAFETY: a long justification\n// spanning many lines of detail\n// 3\n// 4\n// 5\n// 6\n// 7\n// 8\n// 9\nunsafe impl Send for X {}\n";
         assert!(run("any", src).is_empty());
+    }
+
+    #[test]
+    fn hot_copy_fires_on_payload_receivers_in_copy_crates() {
+        let src = "fn f(e: &Env) { let v = e.payload.to_vec(); send(v); }";
+        let f = run("hot", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_NO_HOT_COPY);
+        assert!(f[0].message.contains("payload.to_vec()"), "{}", f[0].message);
+
+        // `.clone()` on a payload receiver fires too (refcount clones
+        // must be annotated so they stay audited).
+        assert_eq!(run("hot", "fn f(r: &R) { ship(r.chunks.clone()); }").len(), 1);
+        // Chained through a method: `req.body().clone()` names `body`.
+        assert_eq!(run("hot", "fn f(r: &R) { ship(r.body().clone()); }").len(), 1);
+        // Non-payload receivers and non-copy crates stay clean.
+        assert!(run("hot", "fn f(c: &C) { let c2 = c.config.clone(); }").is_empty());
+        assert!(run("cold", "fn f(e: &Env) { let v = e.payload.to_vec(); }").is_empty());
+        // Test code is exempt.
+        assert!(run("hot", "#[test] fn t() { let v = e.payload.to_vec(); }").is_empty());
+    }
+
+    #[test]
+    fn hot_copy_allow_annotation_suppresses() {
+        let src = "fn f(e: &Env) {\n    // lint: allow(no-hot-copy) — refcount clone\n    ship(e.payload.clone());\n}";
+        let (f, suppressed) = analyze("t.rs", "hot", src, false, &cfg());
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(suppressed, 1);
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct LintConfig {
     /// (rule `no-println-hot-path`): diagnostics go through the obs
     /// event log instead of raw stdio.
     pub println_crates: Vec<String>,
+    /// Crates whose non-test code may not call `.to_vec()` / `.clone()`
+    /// on payload-carrying receivers (rule `no-hot-copy`): the data
+    /// plane is zero-copy by construction, so every full-payload copy
+    /// must be either removed or annotated with a reason.
+    pub copy_crates: Vec<String>,
 }
 
 impl LintConfig {
@@ -79,6 +84,7 @@ impl LintConfig {
                 ("hierarchy", "order") => cfg.order = parse_array(&value)?,
                 ("rules", "hot_path_crates") => cfg.hot_path_crates = parse_array(&value)?,
                 ("rules", "println_crates") => cfg.println_crates = parse_array(&value)?,
+                ("rules", "copy_crates") => cfg.copy_crates = parse_array(&value)?,
                 ("aliases", recv) => {
                     cfg.aliases.insert(recv.to_string(), parse_string(&value)?);
                 }

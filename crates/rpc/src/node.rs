@@ -584,6 +584,7 @@ impl RpcClient {
             // timeout: a per-attempt timeout only triggers a retransmit
             // of the same id — the caller hasn't abandoned the call, and
             // the server must not drop the original execution early.
+            // lint: allow(no-hot-copy) — refcount clone kept for retransmits
             let env = Envelope::request(opcode, id, self.inner.id, payload.clone())
                 .with_deadline(remaining)
                 .with_trace(trace.trace_id, trace.span_id);
@@ -668,6 +669,7 @@ impl RpcClient {
                 return Err(last_err);
             }
             let to = replicas[target];
+            // lint: allow(no-hot-copy) — refcount clone per leader probe
             match self.call(to, opcode, payload.clone(), remaining.min(probe_budget)) {
                 Ok(bytes) => return Ok((bytes, to)),
                 Err(KeraError::NotLeader { hint, term: _ }) => {

@@ -24,8 +24,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::BytesMut;
 use crossbeam::channel::{self, Receiver, Sender};
 use kera_common::config::DEFAULT_MAX_FRAME_BYTES;
+use kera_common::copymode::copy_data_plane;
 use kera_common::ids::NodeId;
 use kera_common::{KeraError, Result};
 use kera_wire::frames::Envelope;
@@ -164,7 +166,11 @@ fn reader_loop(
     max_frame: usize,
 ) {
     let mut len_buf = [0u8; 4];
-    let mut body = Vec::new();
+    // Copy mode reuses one scratch buffer and copies every payload out
+    // (the seed's behavior, kept for the bench trajectory); zero-copy
+    // mode reads each frame into its own allocation that the decoded
+    // envelope then slices, so the payload is never copied again.
+    let mut scratch = Vec::new();
     loop {
         if closed.load(Ordering::SeqCst) {
             return;
@@ -178,11 +184,21 @@ fn reader_loop(
             let _ = stream.shutdown(Shutdown::Both);
             return;
         }
-        body.resize(len, 0);
-        if stream.read_exact(&mut body).is_err() {
-            return;
-        }
-        match Envelope::decode(&body) {
+        let decoded = if copy_data_plane() {
+            scratch.resize(len, 0);
+            if stream.read_exact(&mut scratch).is_err() {
+                return;
+            }
+            Envelope::decode(&scratch)
+        } else {
+            let mut body = BytesMut::with_capacity(len);
+            body.resize(len, 0);
+            if stream.read_exact(&mut body).is_err() {
+                return;
+            }
+            Envelope::decode_bytes(&body.freeze())
+        };
+        match decoded {
             Ok(env) => {
                 if inbox.send(env).is_err() {
                     return;
@@ -245,20 +261,33 @@ impl Transport for TcpTransport {
     }
 
     fn send(&self, to: NodeId, env: Envelope) -> Result<()> {
-        let frame = env.encode();
-        if frame.len() > self.max_frame_bytes {
+        let frame_len = Envelope::HEADER_LEN + env.payload.len();
+        if frame_len > self.max_frame_bytes {
             // The receiver would drop the connection; fail loudly instead.
             return Err(KeraError::Protocol(format!(
-                "frame of {} bytes exceeds max_frame_bytes {}",
-                frame.len(),
+                "frame of {frame_len} bytes exceeds max_frame_bytes {}",
                 self.max_frame_bytes
             )));
         }
+        let prefix = kera_wire::codec::checked_len("tcp frame", frame_len)?;
         let conn = self.connection(to)?;
         let mut guard = conn.lock();
-        let res = guard
-            .write_all(&(frame.len() as u32).to_le_bytes())
-            .and_then(|_| guard.write_all(&frame));
+        let res = if copy_data_plane() {
+            // lint: allow(no-hot-copy) — the seed's contiguous-frame
+            // copy, kept reachable behind KERA_COPY_DATA_PLANE=1 for
+            // the before/after bench trajectory.
+            let frame = env.encode();
+            guard
+                .write_all(&prefix.to_le_bytes())
+                .and_then(|_| guard.write_all(&frame))
+        } else {
+            // Prefix and header share one small stack buffer; the
+            // payload is written straight from its shared allocation.
+            let mut head = [0u8; 4 + Envelope::HEADER_LEN];
+            head[..4].copy_from_slice(&prefix.to_le_bytes());
+            head[4..].copy_from_slice(&env.encode_header());
+            guard.write_all(&head).and_then(|_| guard.write_all(&env.payload))
+        };
         if res.is_err() {
             // Connection broke: forget it so the next send redials.
             drop(guard);

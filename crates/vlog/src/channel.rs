@@ -7,14 +7,19 @@
 
 use kera_common::ids::NodeId;
 use kera_common::Result;
-use kera_wire::messages::{BackupWriteRequest, BackupWriteResponse};
+use kera_wire::messages::{BackupWriteRequest, BackupWriteResponse, EncodedBackupWrite};
 
 /// Ships replication batches to backups.
+///
+/// The request arrives already on the wire format
+/// ([`EncodedBackupWrite`]): the virtual log packs header and chunk
+/// bytes exactly once, and a transport implementation just hands the
+/// shared body to each fan-out send.
 pub trait BackupChannel: Send + Sync + 'static {
     /// Sends `req` to every node in `backups` **in parallel** and waits
     /// for all acknowledgements. Returns the response of the slowest
     /// backup (they must agree on `durable_offset` in a correct run).
-    fn replicate(&self, backups: &[NodeId], req: &BackupWriteRequest)
+    fn replicate(&self, backups: &[NodeId], req: &EncodedBackupWrite)
         -> Result<BackupWriteResponse>;
 }
 
@@ -45,13 +50,16 @@ impl BackupChannel for MockChannel {
     fn replicate(
         &self,
         backups: &[NodeId],
-        req: &BackupWriteRequest,
+        req: &EncodedBackupWrite,
     ) -> Result<BackupWriteResponse> {
         if self.fail.load(std::sync::atomic::Ordering::Relaxed) {
             return Err(kera_common::KeraError::Timeout { op: "mock replicate" });
         }
+        // Decode the shared body back into a struct (sliced, not
+        // copied) so tests can assert on fields.
+        let req = req.request()?;
         let durable = req.vseg_offset + req.chunks.len() as u32;
-        self.batches.lock().push((backups.to_vec(), req.clone()));
+        self.batches.lock().push((backups.to_vec(), req));
         Ok(BackupWriteResponse { durable_offset: durable })
     }
 }

@@ -29,11 +29,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::BytesMut;
+use kera_common::copymode::copy_data_plane;
 use kera_common::ids::{NodeId, VirtualLogId, VirtualSegmentId};
 use kera_common::metrics::Counter;
 use kera_common::{KeraError, Result};
 use kera_obs::{NodeObs, Stage, TraceContext};
-use kera_wire::messages::{backup_flags, BackupWriteRequest};
+use kera_wire::messages::{backup_flags, BackupWriteRequest, EncodedBackupWrite};
 use parking_lot::{Condvar, Mutex};
 
 use crate::channel::BackupChannel;
@@ -432,15 +433,12 @@ impl VirtualLog {
     }
 
     /// Ships the captured batches. Chunk bytes are copied out of the
-    /// physical segments exactly once, into one request buffer per
-    /// virtual segment, then fanned out to that segment's backups.
+    /// physical segments exactly once, straight into the wire-format
+    /// request body for each virtual segment, then fanned out to that
+    /// segment's backups (the channel shares the one body).
     fn execute(&self, channel: &dyn BackupChannel, work: &[BatchWork]) -> Result<()> {
         for w in work {
             let total: usize = w.refs.iter().map(|r| r.len as usize).sum();
-            let mut buf = BytesMut::with_capacity(total);
-            for r in &w.refs {
-                buf.extend_from_slice(r.bytes());
-            }
             let mut flags = 0u8;
             if w.vseg_offset == 0 {
                 flags |= backup_flags::OPEN;
@@ -448,15 +446,37 @@ impl VirtualLog {
             if w.close {
                 flags |= backup_flags::CLOSE;
             }
-            let req = BackupWriteRequest {
-                source_broker: self.owner,
-                vlog: self.id,
-                vseg: w.vseg_id,
-                vseg_offset: w.vseg_offset,
-                flags,
-                vseg_checksum: w.checksum,
-                chunk_count: w.refs.len() as u32,
-                chunks: buf.freeze(),
+            let req = if copy_data_plane() {
+                // lint: allow(no-hot-copy) — the seed's double copy
+                // (gather buffer, then struct encode), kept reachable
+                // behind KERA_COPY_DATA_PLANE=1 for the bench
+                // trajectory.
+                let mut buf = BytesMut::with_capacity(total);
+                for r in &w.refs {
+                    buf.extend_from_slice(r.bytes());
+                }
+                EncodedBackupWrite::from_request(&BackupWriteRequest {
+                    source_broker: self.owner,
+                    vlog: self.id,
+                    vseg: w.vseg_id,
+                    vseg_offset: w.vseg_offset,
+                    flags,
+                    vseg_checksum: w.checksum,
+                    chunk_count: w.refs.len() as u32,
+                    chunks: buf.freeze(),
+                })
+            } else {
+                EncodedBackupWrite::pack(
+                    self.owner,
+                    self.id,
+                    w.vseg_id,
+                    w.vseg_offset,
+                    flags,
+                    w.checksum,
+                    w.refs.len() as u32,
+                    total,
+                    w.refs.iter().map(|r| r.bytes()),
+                )
             };
             channel.replicate(&w.backups, &req)?;
             self.batches_sent.inc();
@@ -694,7 +714,7 @@ mod tests {
         fn replicate(
             &self,
             backups: &[NodeId],
-            req: &BackupWriteRequest,
+            req: &EncodedBackupWrite,
         ) -> Result<kera_wire::messages::BackupWriteResponse> {
             std::thread::sleep(std::time::Duration::from_micros(300));
             self.0.replicate(backups, req)
@@ -762,7 +782,7 @@ mod tests {
         fn replicate(
             &self,
             backups: &[NodeId],
-            req: &BackupWriteRequest,
+            req: &EncodedBackupWrite,
         ) -> Result<kera_wire::messages::BackupWriteResponse> {
             if let Some(dead) = *self.dead.lock() {
                 if backups.contains(&dead) {

@@ -30,10 +30,14 @@
 //! without touching record bytes, so the payload checksum stays valid all
 //! the way from the producer to the backups and the disk.
 
-use bytes::Bytes;
+use std::sync::Arc;
+
+use bytes::{Bytes, BytesMut};
 use kera_common::checksum::crc32c;
+use kera_common::copymode::copy_data_plane;
 use kera_common::ids::{GroupId, ProducerId, SegmentId, StreamId, StreamletId};
 use kera_common::{KeraError, Result};
+use parking_lot::Mutex;
 
 use crate::record::{Record, RecordIter};
 
@@ -134,32 +138,133 @@ impl ChunkHeader {
     }
 }
 
+/// A free list of chunk-sized buffers shared by the builders of one
+/// producer (or one bench rig).
+///
+/// The zero-copy seal hands the builder's allocation to the sealed
+/// [`Bytes`] outright, so without recycling every chunk costs one fresh
+/// allocation. The pool closes the loop: once the last reference to a
+/// sealed chunk drops back to the producer (the broker acked, the
+/// request buffer is gone), [`BufferPool::release`] reclaims the
+/// allocation via [`Bytes::try_into_mut`] and the next
+/// [`BufferPool::acquire`] reuses it. Releasing a chunk that is still
+/// referenced elsewhere simply drops our handle — correctness never
+/// depends on the pool, it only saves allocator traffic.
+#[derive(Debug)]
+pub struct BufferPool {
+    bufs: Mutex<Vec<BytesMut>>,
+    capacity: usize,
+    max_pooled: usize,
+}
+
+impl BufferPool {
+    /// `capacity` is the chunk size each buffer is sized for;
+    /// `max_pooled` bounds how many free buffers the pool retains
+    /// (excess releases just drop their allocation).
+    pub fn new(capacity: usize, max_pooled: usize) -> Arc<BufferPool> {
+        Arc::new(BufferPool {
+            bufs: Mutex::named("wire.pool", Vec::new()),
+            capacity,
+            max_pooled,
+        })
+    }
+
+    /// The chunk capacity buffers from this pool are sized for.
+    #[inline]
+    pub fn chunk_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of free buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.bufs.lock().len()
+    }
+
+    /// A cleared buffer with at least `chunk_capacity` bytes of room —
+    /// recycled if available, freshly allocated otherwise.
+    pub fn acquire(&self) -> BytesMut {
+        if let Some(mut b) = self.bufs.lock().pop() {
+            b.clear();
+            return b;
+        }
+        BytesMut::with_capacity(self.capacity)
+    }
+
+    /// Attempts to reclaim a sealed chunk's allocation for reuse.
+    /// Succeeds (returns `true`) only when `sealed` is the last handle;
+    /// otherwise the handle is dropped and the allocation stays with the
+    /// remaining references.
+    pub fn release(&self, sealed: Bytes) -> bool {
+        let Ok(mut buf) = sealed.try_into_mut() else { return false };
+        if buf.capacity() < self.capacity {
+            return false; // undersized stray; not worth pooling
+        }
+        buf.clear();
+        let mut bufs = self.bufs.lock();
+        if bufs.len() >= self.max_pooled {
+            return false;
+        }
+        bufs.push(buf);
+        true
+    }
+}
+
 /// Builds a chunk in a fixed-capacity reusable buffer.
 ///
 /// Producers keep a pool of these (one set per streamlet, recycled between
 /// requests — paper Fig. 6); `reset` rearms the builder without
 /// reallocating.
+///
+/// The builder accumulates into a [`BytesMut`]; [`ChunkBuilder::seal`]
+/// patches the header and *hands the allocation over* as an immutable
+/// [`Bytes`] — the sealed chunk is never copied out. A builder created
+/// via [`ChunkBuilder::with_pool`] refills from (and its sealed chunks
+/// can be returned to) a shared [`BufferPool`].
 #[derive(Debug)]
 pub struct ChunkBuilder {
-    buf: Vec<u8>,
+    buf: BytesMut,
     capacity: usize,
     record_count: u32,
     producer: ProducerId,
     stream: StreamId,
     streamlet: StreamletId,
+    pool: Option<Arc<BufferPool>>,
 }
 
 impl ChunkBuilder {
     /// `capacity` is the configured chunk size (header included), e.g. 16 KB.
     pub fn new(capacity: usize, producer: ProducerId, stream: StreamId, streamlet: StreamletId) -> Self {
+        Self::build(capacity, None, producer, stream, streamlet)
+    }
+
+    /// A builder drawing its buffers from `pool` (chunk capacity comes
+    /// from the pool).
+    pub fn with_pool(
+        pool: Arc<BufferPool>,
+        producer: ProducerId,
+        stream: StreamId,
+        streamlet: StreamletId,
+    ) -> Self {
+        Self::build(pool.chunk_capacity(), Some(pool), producer, stream, streamlet)
+    }
+
+    fn build(
+        capacity: usize,
+        pool: Option<Arc<BufferPool>>,
+        producer: ProducerId,
+        stream: StreamId,
+        streamlet: StreamletId,
+    ) -> Self {
         assert!(capacity > CHUNK_HEADER, "chunk capacity must exceed the header");
+        assert!(capacity <= u32::MAX as usize, "chunk capacity must fit the u32 length field");
         let mut b = Self {
-            buf: Vec::with_capacity(capacity),
+            buf: BytesMut::new(),
             capacity,
             record_count: 0,
             producer,
             stream,
             streamlet,
+            pool,
         };
         b.reset_header();
         b
@@ -167,6 +272,15 @@ impl ChunkBuilder {
 
     fn reset_header(&mut self) {
         self.buf.clear();
+        // After a zero-copy seal the allocation has moved out with the
+        // sealed chunk: refill from the pool (recycled ack'd chunk) or
+        // reserve a fresh one.
+        if self.buf.capacity() < self.capacity {
+            match &self.pool {
+                Some(pool) => self.buf = pool.acquire(),
+                None => self.buf.reserve(self.capacity),
+            }
+        }
         self.buf.extend_from_slice(&CHUNK_MAGIC.to_le_bytes());
         self.buf.extend_from_slice(&0u16.to_le_bytes()); // flags
         self.buf.extend_from_slice(&0u32.to_le_bytes()); // chunk_len (patched)
@@ -242,8 +356,16 @@ impl ChunkBuilder {
     }
 
     /// Seals the chunk: patches length, record count and payload checksum,
-    /// and returns the serialized bytes. The builder is left sealed; call
-    /// [`ChunkBuilder::reset`] to reuse it.
+    /// and returns the serialized bytes. The builder rearms itself (same
+    /// producer/stream/streamlet) on a recycled or fresh buffer; call
+    /// [`ChunkBuilder::reset`] only to retarget it.
+    ///
+    /// The sealed [`Bytes`] *is* the builder's accumulation buffer —
+    /// the records were serialized directly into it by `append`, and
+    /// every later hop (request pack, broker append, replication) takes
+    /// slices of or copies from this one allocation. Under
+    /// `KERA_COPY_DATA_PLANE=1` the seed's copy-out is restored for
+    /// before/after benchmarking.
     pub fn seal(&mut self) -> Bytes {
         let chunk_len = self.buf.len() as u32;
         self.buf[field::CHUNK_LEN..field::CHUNK_LEN + 4]
@@ -251,7 +373,16 @@ impl ChunkBuilder {
         self.buf[40..44].copy_from_slice(&self.record_count.to_le_bytes());
         let crc = crc32c(&self.buf[CHUNK_HEADER..]);
         self.buf[8..12].copy_from_slice(&crc.to_le_bytes());
-        Bytes::copy_from_slice(&self.buf)
+        let sealed = if copy_data_plane() {
+            // lint: allow(no-hot-copy) — the seed's copy-out, kept
+            // reachable behind KERA_COPY_DATA_PLANE=1 for the
+            // before/after bench trajectory.
+            Bytes::copy_from_slice(&self.buf)
+        } else {
+            self.buf.split().freeze()
+        };
+        self.reset_header();
+        sealed
     }
 
     /// Seals the chunk with a producer-assigned sequence tag stashed in
@@ -532,6 +663,59 @@ mod tests {
     fn untagged_chunks_have_no_sequence_tag() {
         let bytes = sample_chunk(1);
         assert_eq!(ChunkView::parse(&bytes).unwrap().header().sequence_tag(), None);
+    }
+
+    #[test]
+    fn seal_hands_over_the_accumulation_buffer() {
+        // Zero-copy contract: the sealed Bytes is the very allocation the
+        // records were encoded into, not a copy of it.
+        let mut b = ChunkBuilder::new(4096, ProducerId(1), StreamId(1), StreamletId(1));
+        b.append(&Record::value_only(b"zero-copy"));
+        let ptr = b.buf.as_ref().as_ptr();
+        let sealed = b.seal();
+        assert_eq!(sealed.as_ref().as_ptr(), ptr);
+        // The builder rearmed itself: a second chunk builds immediately.
+        assert!(b.is_empty());
+        b.append(&Record::value_only(b"next"));
+        let second = b.seal();
+        ChunkView::parse(&second).unwrap().verify().unwrap();
+    }
+
+    #[test]
+    fn pool_recycles_released_chunks() {
+        let pool = BufferPool::new(4096, 4);
+        let mut b = ChunkBuilder::with_pool(Arc::clone(&pool), ProducerId(1), StreamId(1), StreamletId(1));
+        b.append(&Record::value_only(b"pooled"));
+        let sealed = b.seal();
+        let ptr = sealed.as_ref().as_ptr();
+
+        // While the sealed chunk is shared, release refuses to reclaim.
+        let shared = sealed.clone();
+        assert!(!pool.release(shared));
+        assert_eq!(pool.pooled(), 0);
+
+        // Last handle: the allocation goes back to the pool...
+        assert!(pool.release(sealed));
+        assert_eq!(pool.pooled(), 1);
+
+        // ...and the next rearm reuses it without allocating.
+        b.append(&Record::value_only(b"again"));
+        let _second = b.seal(); // consumes the builder's current buffer
+        b.append(&Record::value_only(b"third"));
+        assert_eq!(b.buf.as_ref().as_ptr(), ptr, "rearm should reuse the pooled allocation");
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn pool_bounds_retained_buffers() {
+        let pool = BufferPool::new(256, 1);
+        let a = BytesMut::with_capacity(256).freeze();
+        let b = BytesMut::with_capacity(256).freeze();
+        assert!(pool.release(a));
+        assert!(!pool.release(b), "pool at max_pooled drops the extra buffer");
+        assert_eq!(pool.pooled(), 1);
+        // Undersized buffers are not pooled.
+        assert!(!pool.release(Bytes::from(vec![0u8; 8])));
     }
 
     #[test]

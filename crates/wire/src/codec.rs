@@ -8,6 +8,16 @@
 use bytes::{BufMut, Bytes, BytesMut};
 use kera_common::{KeraError, Result};
 
+/// Checked `usize -> u32` conversion for length fields.
+///
+/// Every length on the wire is a `u32`; a buffer past 4 GiB must fail at
+/// encode time with [`KeraError::EncodeOverflow`] rather than truncate
+/// into a frame that *decodes* — with a silently wrong length.
+#[inline]
+pub fn checked_len(what: &'static str, len: usize) -> Result<u32> {
+    u32::try_from(len).map_err(|_| KeraError::EncodeOverflow { what, len })
+}
+
 /// Sequential reader over a byte slice.
 #[derive(Clone, Debug)]
 pub struct Reader<'a> {
@@ -156,14 +166,17 @@ impl Writer {
         self
     }
 
+    /// Writes a `u32` length prefix followed by the bytes. Errors (leaving
+    /// the buffer untouched) if `v` is too large for the length field.
     #[inline]
-    pub fn len_prefixed(&mut self, v: &[u8]) -> &mut Self {
-        self.u32(v.len() as u32);
-        self.bytes(v)
+    pub fn len_prefixed(&mut self, v: &[u8]) -> Result<&mut Self> {
+        let n = checked_len("length-prefixed field", v.len())?;
+        self.u32(n);
+        Ok(self.bytes(v))
     }
 
     #[inline]
-    pub fn string(&mut self, v: &str) -> &mut Self {
+    pub fn string(&mut self, v: &str) -> Result<&mut Self> {
         self.len_prefixed(v.as_bytes())
     }
 
@@ -191,7 +204,7 @@ mod tests {
     fn roundtrip_all_widths() {
         let mut w = Writer::new();
         w.u8(0xab).u16(0xcdef).u32(0xdead_beef).u64(0x0123_4567_89ab_cdef);
-        w.len_prefixed(b"hello").string("world");
+        w.len_prefixed(b"hello").unwrap().string("world").unwrap();
         let buf = w.finish();
 
         let mut r = Reader::new(&buf);
@@ -227,9 +240,31 @@ mod tests {
     #[test]
     fn invalid_utf8_string_is_error() {
         let mut w = Writer::new();
-        w.len_prefixed(&[0xff, 0xfe]);
+        w.len_prefixed(&[0xff, 0xfe]).unwrap();
         let buf = w.finish();
         assert!(Reader::new(&buf).string().is_err());
+    }
+
+    /// Boundary test for the checked length conversion: exactly u32::MAX
+    /// fits, one past it must surface `EncodeOverflow` (never a silent
+    /// truncating `as` cast, which would produce a decodable-but-corrupt
+    /// frame).
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn oversized_length_is_a_structured_error() {
+        assert_eq!(checked_len("x", u32::MAX as usize).unwrap(), u32::MAX);
+        let err = checked_len("produce payload", u32::MAX as usize + 1).unwrap_err();
+        match err {
+            KeraError::EncodeOverflow { what, len } => {
+                assert_eq!(what, "produce payload");
+                assert_eq!(len, u32::MAX as usize + 1);
+            }
+            other => panic!("expected EncodeOverflow, got {other}"),
+        }
+        // A writer handed an oversized slice must leave the buffer
+        // untouched so a caller can recover. We cannot allocate 4 GiB in
+        // a test, so this is exercised through `checked_len` above; the
+        // writer path is a direct delegation.
     }
 
     #[test]

@@ -273,7 +273,11 @@ impl Envelope {
     /// its structured retry_after (microseconds) and window hint.
     pub fn error_response(opcode: OpCode, request_id: u64, from: NodeId, e: &KeraError) -> Self {
         let mut w = Writer::new();
-        w.string(&e.to_string());
+        // An error message can never exceed the u32 length field; if it
+        // somehow did, the failed write leaves the buffer untouched and
+        // the response degrades to a message-less frame (check_status
+        // falls back to an empty message).
+        let _ = w.string(&e.to_string());
         match e {
             KeraError::NotLeader { hint, term } => {
                 w.u32(hint.map_or(u32::MAX, NodeId::raw)).u64(*term);
@@ -297,24 +301,33 @@ impl Envelope {
     /// prefix used by stream transports).
     pub const HEADER_LEN: usize = 40;
 
-    /// Serializes header + payload (no outer length prefix).
+    /// Serializes just the 40-byte header. The TCP transport writes this
+    /// followed by the payload `Bytes` directly, so the payload is never
+    /// copied into a combined frame buffer on the send path.
+    pub fn encode_header(&self) -> [u8; Self::HEADER_LEN] {
+        let mut h = [0u8; Self::HEADER_LEN];
+        h[0] = self.kind as u8;
+        h[1] = self.opcode as u8;
+        h[2] = self.status as u8;
+        // h[3] reserved, zero
+        h[4..12].copy_from_slice(&self.request_id.to_le_bytes());
+        h[12..16].copy_from_slice(&self.from.raw().to_le_bytes());
+        h[16..24].copy_from_slice(&self.deadline_micros.to_le_bytes());
+        h[24..32].copy_from_slice(&self.trace_id.to_le_bytes());
+        h[32..40].copy_from_slice(&self.span_id.to_le_bytes());
+        h
+    }
+
+    /// Serializes header + payload into one contiguous buffer (copies the
+    /// payload; transports prefer [`Envelope::encode_header`] + payload).
     pub fn encode(&self) -> Bytes {
         let mut w = Writer::with_capacity(Self::HEADER_LEN + self.payload.len());
-        w.u8(self.kind as u8)
-            .u8(self.opcode as u8)
-            .u8(self.status as u8)
-            .u8(0)
-            .u64(self.request_id)
-            .u32(self.from.raw())
-            .u64(self.deadline_micros)
-            .u64(self.trace_id)
-            .u64(self.span_id)
-            .bytes(&self.payload);
+        w.bytes(&self.encode_header()).bytes(&self.payload);
         w.finish()
     }
 
-    /// Parses an envelope from `buf` (header + payload, exact).
-    pub fn decode(buf: &[u8]) -> Result<Envelope> {
+    /// Parses the header fields of `buf`, leaving the payload empty.
+    fn decode_header(buf: &[u8]) -> Result<Envelope> {
         let mut r = Reader::new(buf);
         let kind = match r.u8()? {
             0 => FrameKind::Request,
@@ -329,7 +342,7 @@ impl Envelope {
         let deadline_micros = r.u64()?;
         let trace_id = r.u64()?;
         let span_id = r.u64()?;
-        let payload = Bytes::copy_from_slice(r.bytes(r.remaining())?);
+        debug_assert_eq!(r.position(), Self::HEADER_LEN);
         Ok(Envelope {
             kind,
             opcode,
@@ -339,8 +352,30 @@ impl Envelope {
             deadline_micros,
             trace_id,
             span_id,
-            payload,
+            payload: Bytes::new(),
         })
+    }
+
+    /// Parses an envelope from `buf` (header + payload, exact), copying
+    /// the payload out of the slice.
+    pub fn decode(buf: &[u8]) -> Result<Envelope> {
+        let mut env = Self::decode_header(buf)?;
+        env.payload = Bytes::copy_from_slice(&buf[Self::HEADER_LEN..]);
+        Ok(env)
+    }
+
+    /// Parses an envelope from a shared receive buffer: the payload is a
+    /// zero-copy slice of `buf`'s allocation, so a request body flows
+    /// from the socket read straight to the broker without another
+    /// memcpy. Under `KERA_COPY_DATA_PLANE=1` the payload is copied out
+    /// (the seed's behavior) for before/after benchmarking.
+    pub fn decode_bytes(buf: &Bytes) -> Result<Envelope> {
+        if kera_common::copymode::copy_data_plane() {
+            return Self::decode(buf);
+        }
+        let mut env = Self::decode_header(buf)?;
+        env.payload = buf.slice(Self::HEADER_LEN..);
+        Ok(env)
     }
 
     /// Extracts the error from a response envelope, or `Ok(())` if the
@@ -474,7 +509,7 @@ mod tests {
 
         // A legacy payload (message only, no extras) degrades gracefully.
         let mut w = crate::codec::Writer::new();
-        w.string("throttled");
+        w.string("throttled").unwrap();
         let env = Envelope::response(OpCode::Produce, 4, NodeId(1), StatusCode::Throttled, w.finish());
         match env.check_status().unwrap_err() {
             KeraError::Throttled { retry_after, window_hint } => {
@@ -519,6 +554,27 @@ mod tests {
             status_for_error(&KeraError::Timeout { op: "x" }),
             StatusCode::Internal
         );
+    }
+
+    #[test]
+    fn decode_bytes_slices_the_receive_buffer() {
+        let env = Envelope::request(OpCode::Produce, 7, NodeId(1), Bytes::from(vec![9u8; 64]));
+        let frame = env.encode();
+        let back = Envelope::decode_bytes(&frame).unwrap();
+        assert_eq!(back.request_id, 7);
+        assert_eq!(&back.payload[..], &env.payload[..]);
+        // Zero-copy: the decoded payload is a window into the frame's
+        // allocation, not a copy of it.
+        assert!(std::ptr::eq(
+            back.payload.as_ref().as_ptr(),
+            frame.as_ref()[Envelope::HEADER_LEN..].as_ptr()
+        ));
+        // The header-only encoding is byte-identical to the first 40
+        // bytes of the contiguous encoding.
+        assert_eq!(&env.encode_header()[..], &frame[..Envelope::HEADER_LEN]);
+        // And decode_bytes on a header-only frame yields an empty payload.
+        let empty = Envelope::request(OpCode::Ping, 1, NodeId(2), Bytes::new());
+        assert!(Envelope::decode_bytes(&empty.encode()).unwrap().payload.is_empty());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use bytes::Bytes;
 use kera_common::config::{ReplicationConfig, StreamConfig, VirtualLogPolicy};
+use kera_common::copymode::copy_data_plane;
 use kera_common::ids::{
     ConsumerId, NodeId, ProducerId, StreamId, StreamletId, VirtualLogId, VirtualSegmentId,
 };
@@ -243,12 +244,29 @@ pub struct ProduceRequest {
 }
 
 impl ProduceRequest {
+    /// Serialized header size (producer + recovery flag + chunk count).
+    pub const HEADER_LEN: usize = 9;
+
     pub fn encode(&self) -> Bytes {
-        let mut w = Writer::with_capacity(16 + self.chunks.len());
+        let mut w = Writer::with_capacity(Self::HEADER_LEN + self.chunks.len());
         w.u32(self.producer.raw())
             .u8(self.recovery as u8)
             .u32(self.chunk_count)
             .bytes(&self.chunks);
+        w.finish()
+    }
+
+    /// Packs the request header and the sealed chunks into the request
+    /// body in one pass — each chunk's bytes are copied exactly once, out
+    /// of its seal allocation into the body the transport ships. (The
+    /// seed path copied twice: chunks → `chunks` field → `encode`.)
+    pub fn encode_chunks(producer: ProducerId, recovery: bool, chunks: &[Bytes]) -> Bytes {
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        let mut w = Writer::with_capacity(Self::HEADER_LEN + total);
+        w.u32(producer.raw()).u8(recovery as u8).u32(chunks.len() as u32);
+        for c in chunks {
+            w.bytes(c);
+        }
         w.finish()
     }
 
@@ -258,6 +276,21 @@ impl ProduceRequest {
         let recovery = r.u8()? != 0;
         let chunk_count = r.u32()?;
         let chunks = Bytes::copy_from_slice(r.bytes(r.remaining())?);
+        Ok(Self { producer, recovery, chunk_count, chunks })
+    }
+
+    /// Like [`ProduceRequest::decode`], but `chunks` is a zero-copy slice
+    /// of the request payload — the broker appends from the same
+    /// allocation the transport received into.
+    pub fn decode_bytes(buf: &Bytes) -> Result<Self> {
+        if copy_data_plane() {
+            return Self::decode(buf);
+        }
+        let mut r = Reader::new(buf);
+        let producer = ProducerId(r.u32()?);
+        let recovery = r.u8()? != 0;
+        let chunk_count = r.u32()?;
+        let chunks = buf.slice(r.position()..);
         Ok(Self { producer, recovery, chunk_count, chunks })
     }
 }
@@ -383,16 +416,16 @@ pub struct FetchResponse {
 }
 
 impl FetchResponse {
-    pub fn encode(&self) -> Bytes {
+    pub fn encode(&self) -> Result<Bytes> {
         let total: usize = self.results.iter().map(|x| 32 + x.data.len()).sum();
         let mut w = Writer::with_capacity(4 + total);
         w.u32(self.results.len() as u32);
         for x in &self.results {
             w.u32(x.stream.raw()).u32(x.streamlet.raw()).u32(x.slot);
             x.cursor.encode(&mut w);
-            w.len_prefixed(&x.data);
+            w.len_prefixed(&x.data)?;
         }
-        w.finish()
+        Ok(w.finish())
     }
 
     pub fn decode(buf: &[u8]) -> Result<Self> {
@@ -405,6 +438,29 @@ impl FetchResponse {
             let slot = r.u32()?;
             let cursor = SlotCursor::decode(&mut r)?;
             let data = Bytes::copy_from_slice(r.len_prefixed()?);
+            results.push(FetchResult { stream, streamlet, slot, cursor, data });
+        }
+        Ok(Self { results })
+    }
+
+    /// Like [`FetchResponse::decode`], but each result's `data` is a
+    /// zero-copy slice of the response payload (the consumer iterates the
+    /// chunks in place).
+    pub fn decode_bytes(buf: &Bytes) -> Result<Self> {
+        if copy_data_plane() {
+            return Self::decode(buf);
+        }
+        let mut r = Reader::new(buf);
+        let n = r.collection_len(28)?;
+        let mut results = Vec::with_capacity(n);
+        for _ in 0..n {
+            let stream = StreamId(r.u32()?);
+            let streamlet = StreamletId(r.u32()?);
+            let slot = r.u32()?;
+            let cursor = SlotCursor::decode(&mut r)?;
+            let start = r.position() + 4;
+            let data_len = r.len_prefixed()?.len();
+            let data = buf.slice(start..start + data_len);
             results.push(FetchResult { stream, streamlet, slot, cursor, data });
         }
         Ok(Self { results })
@@ -470,6 +526,86 @@ impl BackupWriteRequest {
         let chunk_count = r.u32()?;
         let chunks = Bytes::copy_from_slice(r.bytes(r.remaining())?);
         Ok(Self { source_broker, vlog, vseg, vseg_offset, flags, vseg_checksum, chunk_count, chunks })
+    }
+
+    /// Like [`BackupWriteRequest::decode`], but `chunks` is a zero-copy
+    /// slice of the request payload — the backup retains the slice
+    /// instead of copying the batch out of the frame.
+    pub fn decode_bytes(buf: &Bytes) -> Result<Self> {
+        if copy_data_plane() {
+            return Self::decode(buf);
+        }
+        let mut r = Reader::new(buf);
+        let source_broker = NodeId(r.u32()?);
+        let vlog = VirtualLogId(r.u32()?);
+        let vseg = VirtualSegmentId(r.u64()?);
+        let vseg_offset = r.u32()?;
+        let flags = r.u8()?;
+        let vseg_checksum = r.u32()?;
+        let chunk_count = r.u32()?;
+        let chunks = buf.slice(r.position()..);
+        Ok(Self { source_broker, vlog, vseg, vseg_offset, flags, vseg_checksum, chunk_count, chunks })
+    }
+}
+
+/// A fully-encoded [`BackupWriteRequest`] body, built once by the virtual
+/// log's gather path and shipped verbatim to every backup.
+///
+/// The seed pipeline copied each replication batch twice: segment buffers
+/// → a gathered `chunks` buffer → the encoded request body. `pack`
+/// collapses that to a single copy (segment slices straight into the
+/// body); the same `Bytes` then rides the envelope to `r` backups without
+/// further copies, and retries re-send it instead of re-encoding.
+#[derive(Clone, Debug)]
+pub struct EncodedBackupWrite {
+    body: Bytes,
+}
+
+impl EncodedBackupWrite {
+    /// Gathers `chunks` (slices of the broker's segment buffers) behind a
+    /// serialized request header in one pass. `total_chunk_bytes` sizes
+    /// the single allocation up front.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire header, field for field
+    pub fn pack<'a>(
+        source_broker: NodeId,
+        vlog: VirtualLogId,
+        vseg: VirtualSegmentId,
+        vseg_offset: u32,
+        flags: u8,
+        vseg_checksum: u32,
+        chunk_count: u32,
+        total_chunk_bytes: usize,
+        chunks: impl IntoIterator<Item = &'a [u8]>,
+    ) -> Self {
+        let mut w = Writer::with_capacity(29 + total_chunk_bytes);
+        w.u32(source_broker.raw())
+            .u32(vlog.raw())
+            .u64(vseg.raw())
+            .u32(vseg_offset)
+            .u8(flags)
+            .u32(vseg_checksum)
+            .u32(chunk_count);
+        for c in chunks {
+            w.bytes(c);
+        }
+        Self { body: w.finish() }
+    }
+
+    /// Wraps an already-assembled request (tests, fault-injection mocks).
+    pub fn from_request(req: &BackupWriteRequest) -> Self {
+        Self { body: req.encode() }
+    }
+
+    /// The serialized request body — what goes in the envelope payload.
+    #[inline]
+    pub fn body(&self) -> &Bytes {
+        &self.body
+    }
+
+    /// Decodes the header back out (zero-copy; mocks and tests use this
+    /// to inspect what would cross the wire).
+    pub fn request(&self) -> Result<BackupWriteRequest> {
+        BackupWriteRequest::decode_bytes(&self.body)
     }
 }
 
@@ -558,15 +694,15 @@ pub struct FollowerFetchResponse {
 }
 
 impl FollowerFetchResponse {
-    pub fn encode(&self) -> Bytes {
+    pub fn encode(&self) -> Result<Bytes> {
         let total: usize = self.results.iter().map(|x| 20 + x.data.len()).sum();
         let mut w = Writer::with_capacity(4 + total);
         w.u32(self.results.len() as u32);
         for x in &self.results {
             w.u32(x.stream.raw()).u32(x.partition.raw()).u64(x.high_watermark);
-            w.len_prefixed(&x.data);
+            w.len_prefixed(&x.data)?;
         }
-        w.finish()
+        Ok(w.finish())
     }
 
     pub fn decode(buf: &[u8]) -> Result<Self> {
@@ -578,6 +714,27 @@ impl FollowerFetchResponse {
             let partition = StreamletId(r.u32()?);
             let high_watermark = r.u64()?;
             let data = Bytes::copy_from_slice(r.len_prefixed()?);
+            results.push(FollowerFetchResult { stream, partition, high_watermark, data });
+        }
+        Ok(Self { results })
+    }
+
+    /// Like [`FollowerFetchResponse::decode`], but each result's `data`
+    /// is a zero-copy slice of the response payload.
+    pub fn decode_bytes(buf: &Bytes) -> Result<Self> {
+        if copy_data_plane() {
+            return Self::decode(buf);
+        }
+        let mut r = Reader::new(buf);
+        let n = r.collection_len(20)?;
+        let mut results = Vec::with_capacity(n);
+        for _ in 0..n {
+            let stream = StreamId(r.u32()?);
+            let partition = StreamletId(r.u32()?);
+            let high_watermark = r.u64()?;
+            let start = r.position() + 4;
+            let data_len = r.len_prefixed()?.len();
+            let data = buf.slice(start..start + data_len);
             results.push(FollowerFetchResult { stream, partition, high_watermark, data });
         }
         Ok(Self { results })
@@ -972,6 +1129,62 @@ mod tests {
     }
 
     #[test]
+    fn produce_single_pack_matches_struct_encode() {
+        let a = Bytes::from_static(b"chunk-a");
+        let b = Bytes::from_static(b"chunk-bb");
+        let packed = ProduceRequest::encode_chunks(ProducerId(8), false, &[a.clone(), b.clone()]);
+        let mut joined = Vec::new();
+        joined.extend_from_slice(&a);
+        joined.extend_from_slice(&b);
+        let via_struct = ProduceRequest {
+            producer: ProducerId(8),
+            recovery: false,
+            chunk_count: 2,
+            chunks: Bytes::from(joined),
+        }
+        .encode();
+        assert_eq!(packed, via_struct, "single-pack must be byte-identical on the wire");
+
+        // The sliced decoder yields chunks windowed into the payload.
+        let payload = packed.clone();
+        let req = ProduceRequest::decode_bytes(&payload).unwrap();
+        assert_eq!(req.chunk_count, 2);
+        assert_eq!(&req.chunks[..], b"chunk-achunk-bb");
+        let base = payload.as_ref().as_ptr() as usize;
+        let ptr = req.chunks.as_ref().as_ptr() as usize;
+        assert_eq!(ptr, base + ProduceRequest::HEADER_LEN);
+    }
+
+    #[test]
+    fn encoded_backup_write_packs_once_and_decodes_back() {
+        let chunks: [&[u8]; 2] = [b"first-chunk", b"second"];
+        let total = chunks.iter().map(|c| c.len()).sum();
+        let enc = EncodedBackupWrite::pack(
+            NodeId(1),
+            VirtualLogId(2),
+            VirtualSegmentId(3),
+            4096,
+            backup_flags::OPEN,
+            0,
+            2,
+            total,
+            chunks,
+        );
+        let req = enc.request().unwrap();
+        assert_eq!(req.source_broker, NodeId(1));
+        assert_eq!(req.vlog, VirtualLogId(2));
+        assert_eq!(req.vseg, VirtualSegmentId(3));
+        assert_eq!(req.vseg_offset, 4096);
+        assert_eq!(req.flags, backup_flags::OPEN);
+        assert_eq!(req.chunk_count, 2);
+        assert_eq!(&req.chunks[..], b"first-chunksecond");
+        // Byte-identical to the struct encoder's output.
+        assert_eq!(enc.body(), &req.encode());
+        // from_request round-trips too.
+        assert_eq!(EncodedBackupWrite::from_request(&req).body(), enc.body());
+    }
+
+    #[test]
     fn produce_response_roundtrip() {
         let resp = ProduceResponse {
             acks: vec![ChunkAck {
@@ -1012,10 +1225,19 @@ mod tests {
                 data: Bytes::from_static(b"packed"),
             }],
         };
-        let back = FetchResponse::decode(&resp.encode()).unwrap();
+        let encoded = resp.encode().unwrap();
+        let back = FetchResponse::decode(&encoded).unwrap();
         assert_eq!(back.results.len(), 1);
         assert_eq!(back.results[0].cursor.offset, 99);
         assert_eq!(&back.results[0].data[..], b"packed");
+
+        // The sliced decoder agrees and its data is a window into the
+        // response buffer, not a copy.
+        let sliced = FetchResponse::decode_bytes(&encoded).unwrap();
+        assert_eq!(&sliced.results[0].data[..], b"packed");
+        let base = encoded.as_ref().as_ptr() as usize;
+        let data_ptr = sliced.results[0].data.as_ref().as_ptr() as usize;
+        assert!((base..base + encoded.len()).contains(&data_ptr));
     }
 
     #[test]
@@ -1067,9 +1289,12 @@ mod tests {
                 data: Bytes::from_static(b"log-bytes"),
             }],
         };
-        let back = FollowerFetchResponse::decode(&resp.encode()).unwrap();
+        let encoded = resp.encode().unwrap();
+        let back = FollowerFetchResponse::decode(&encoded).unwrap();
         assert_eq!(back.results[0].high_watermark, 700);
         assert_eq!(&back.results[0].data[..], b"log-bytes");
+        let sliced = FollowerFetchResponse::decode_bytes(&encoded).unwrap();
+        assert_eq!(&sliced.results[0].data[..], b"log-bytes");
     }
 
     #[test]

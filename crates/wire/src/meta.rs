@@ -107,18 +107,19 @@ pub struct MetaRecord {
 }
 
 impl MetaRecord {
-    pub fn encode(&self) -> Bytes {
+    pub fn encode(&self) -> Result<Bytes> {
         let mut w = Writer::new();
-        self.encode_into(&mut w);
-        w.finish()
+        self.encode_into(&mut w)?;
+        Ok(w.finish())
     }
 
-    pub fn encode_into(&self, w: &mut Writer) {
+    pub fn encode_into(&self, w: &mut Writer) -> Result<()> {
         let mut body = Writer::new();
         body.u64(self.index).u64(self.term);
         self.op.encode_into(&mut body);
         let body = body.finish();
-        w.u32(crc32c(&body)).len_prefixed(&body);
+        w.u32(crc32c(&body)).len_prefixed(&body)?;
+        Ok(())
     }
 
     pub fn decode(buf: &[u8]) -> Result<Self> {
@@ -166,7 +167,7 @@ pub struct MetaSnapshot {
 }
 
 impl MetaSnapshot {
-    pub fn encode(&self) -> Bytes {
+    pub fn encode(&self) -> Result<Bytes> {
         let mut body = Writer::new();
         body.u64(self.last_index).u64(self.last_term);
         body.u32(self.brokers.len() as u32);
@@ -183,8 +184,8 @@ impl MetaSnapshot {
         }
         let body = body.finish();
         let mut w = Writer::with_capacity(8 + body.len());
-        w.u32(crc32c(&body)).len_prefixed(&body);
-        w.finish()
+        w.u32(crc32c(&body)).len_prefixed(&body)?;
+        Ok(w.finish())
     }
 
     pub fn decode(buf: &[u8]) -> Result<Self> {
@@ -294,7 +295,7 @@ pub struct MetaAppendRequest {
 }
 
 impl MetaAppendRequest {
-    pub fn encode(&self) -> Bytes {
+    pub fn encode(&self) -> Result<Bytes> {
         let mut w = Writer::new();
         w.u64(self.term)
             .u32(self.leader.raw())
@@ -303,7 +304,7 @@ impl MetaAppendRequest {
             .u64(self.commit_index);
         match &self.snapshot {
             Some(s) => {
-                w.u8(1).bytes(&s.encode());
+                w.u8(1).bytes(&s.encode()?);
             }
             None => {
                 w.u8(0);
@@ -311,9 +312,9 @@ impl MetaAppendRequest {
         }
         w.u32(self.entries.len() as u32);
         for e in &self.entries {
-            e.encode_into(&mut w);
+            e.encode_into(&mut w)?;
         }
-        w.finish()
+        Ok(w.finish())
     }
 
     pub fn decode(buf: &[u8]) -> Result<Self> {
@@ -424,7 +425,7 @@ mod tests {
         ];
         for (i, op) in ops.into_iter().enumerate() {
             let rec = MetaRecord { index: i as u64 + 1, term: 3, op };
-            let back = MetaRecord::decode(&rec.encode()).unwrap();
+            let back = MetaRecord::decode(&rec.encode().unwrap()).unwrap();
             assert_eq!(back, rec);
         }
     }
@@ -436,7 +437,7 @@ mod tests {
             term: 2,
             op: MetaOp::CreateStream { metadata: sample_metadata() },
         };
-        let encoded = rec.encode();
+        let encoded = rec.encode().unwrap();
         for byte in 0..encoded.len() {
             for bit in 0..8 {
                 let mut mutant = encoded.to_vec();
@@ -458,7 +459,7 @@ mod tests {
             dead: vec![NodeId(2)],
             streams: vec![sample_metadata()],
         };
-        let encoded = snap.encode();
+        let encoded = snap.encode().unwrap();
         assert_eq!(MetaSnapshot::decode(&encoded).unwrap(), snap);
 
         let mut mutant = encoded.to_vec();
@@ -487,7 +488,7 @@ mod tests {
                 op: MetaOp::RegisterBroker { node: NodeId(1) },
             }],
         };
-        assert_eq!(MetaAppendRequest::decode(&append.encode()).unwrap(), append);
+        assert_eq!(MetaAppendRequest::decode(&append.encode().unwrap()).unwrap(), append);
 
         let ar = MetaAppendResponse { term: 5, success: false, match_index: 7 };
         assert_eq!(MetaAppendResponse::decode(&ar.encode()).unwrap(), ar);
@@ -509,7 +510,7 @@ mod tests {
             snapshot: None,
             entries: vec![],
         };
-        let back = MetaAppendRequest::decode(&hb.encode()).unwrap();
+        let back = MetaAppendRequest::decode(&hb.encode().unwrap()).unwrap();
         assert!(back.entries.is_empty());
         assert!(back.snapshot.is_none());
     }

@@ -22,6 +22,7 @@
 //! [value bytes ...]     entry_len - everything above
 //! ```
 
+use bytes::BufMut;
 use kera_common::checksum::crc32c;
 use kera_common::{KeraError, Result};
 
@@ -57,12 +58,19 @@ impl<'a> Record<'a> {
     }
 
     /// Appends the serialized entry to `out`. Returns the entry length.
-    pub fn encode_into(&self, out: &mut Vec<u8>) -> usize {
-        let start = out.len();
+    ///
+    /// Generic over the sink so the producer's chunk builder (a pooled
+    /// `BytesMut` that is later frozen and shipped without copying) and
+    /// plain `Vec<u8>` buffers share one encoder — the record is
+    /// serialized exactly once, at this call.
+    pub fn encode_into<B>(&self, out: &mut B) -> usize
+    where
+        B: BufMut + AsRef<[u8]> + AsMut<[u8]>,
+    {
+        let start = out.as_ref().len();
         let entry_len = self.encoded_len();
-        out.reserve(entry_len);
-        out.extend_from_slice(&[0u8; 4]); // checksum patched below
-        out.extend_from_slice(&(entry_len as u32).to_le_bytes());
+        out.put_slice(&[0u8; 4]); // checksum patched below
+        out.put_u32_le(entry_len as u32);
         let mut flags = 0u8;
         if self.version.is_some() {
             flags |= FLAG_VERSION;
@@ -70,27 +78,28 @@ impl<'a> Record<'a> {
         if self.timestamp.is_some() {
             flags |= FLAG_TIMESTAMP;
         }
-        out.push(flags);
-        out.push(self.keys.len() as u8);
-        out.extend_from_slice(&[0u8; 2]); // reserved
+        out.put_u8(flags);
+        out.put_u8(self.keys.len() as u8);
+        out.put_slice(&[0u8; 2]); // reserved
         if let Some(v) = self.version {
-            out.extend_from_slice(&v.to_le_bytes());
+            out.put_u64_le(v);
         }
         if let Some(t) = self.timestamp {
-            out.extend_from_slice(&t.to_le_bytes());
+            out.put_u64_le(t);
         }
         for k in &self.keys {
-            out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+            out.put_u16_le(k.len() as u16);
         }
         for k in &self.keys {
-            out.extend_from_slice(k);
+            out.put_slice(k);
         }
-        out.extend_from_slice(self.value);
-        debug_assert_eq!(out.len() - start, entry_len);
+        out.put_slice(self.value);
+        debug_assert_eq!(out.as_ref().len() - start, entry_len);
         // Checksum covers everything but the checksum field itself
         // (paper: "a checksum covering everything but this field").
-        let crc = crc32c(&out[start + 4..start + entry_len]);
-        out[start..start + 4].copy_from_slice(&crc.to_le_bytes());
+        let buf = out.as_mut();
+        let crc = crc32c(&buf[start + 4..start + entry_len]);
+        buf[start..start + 4].copy_from_slice(&crc.to_le_bytes());
         entry_len
     }
 }

@@ -56,3 +56,11 @@ fi
 # tracing on must stay within the budget (default 5%) of the same point
 # with tracing off. KERA_OBS_TOLERANCE_PCT overrides the budget.
 KERA_WARMUP_MS=300 KERA_MEASURE_MS=1200 cargo run -q --release -p kera-harness --bin obs_overhead
+
+# Perf-trajectory bench smoke: re-measures the copy data plane
+# (KERA_COPY_DATA_PLANE=1) against the zero-copy data plane in child
+# processes and fails if any speedup falls below its gate (append
+# >= 1.20x, replication >= 1.05x, e2e >= 0.85x). Smoke runs write to
+# results/tmp/ — the pinned repo-root BENCH_*.json files are only
+# rewritten by an explicit `perf_trajectory --pin`.
+cargo run -q --release -p kera-bench --bin perf_trajectory

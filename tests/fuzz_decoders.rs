@@ -207,7 +207,7 @@ proptest! {
         use kera::wire::meta::{MetaOp, MetaRecord};
 
         let rec = MetaRecord { index, term, op: MetaOp::RegisterBroker { node: NodeId(node) } };
-        let mut buf = rec.encode().to_vec();
+        let mut buf = rec.encode().unwrap().to_vec();
         let i = flip_byte % buf.len();
         buf[i] ^= 1 << flip_bit;
         // A flip in the checksum field invalidates the checksum; a flip
@@ -251,12 +251,125 @@ proptest! {
             }),
             entries,
         };
-        let encoded = req.encode();
+        let encoded = req.encode().unwrap();
         let cut = cut_num % encoded.len();
         // Every proper prefix must fail to decode: the frame carries
         // counts and per-record checksums, so a cut can never produce a
         // shorter-but-valid request.
         prop_assert!(MetaAppendRequest::decode(&encoded[..cut]).is_err(), "cut at {} decoded", cut);
+    }
+
+    /// The zero-copy sliced decoders (`decode_bytes`) parse untrusted
+    /// input too: arbitrary bytes must produce `Err`, never a panic, and
+    /// the verdict must match the seed's copying decoder byte for byte.
+    #[test]
+    fn sliced_decoders_never_panic_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let b = bytes::Bytes::from(data);
+        prop_assert_eq!(Envelope::decode_bytes(&b).is_ok(), Envelope::decode(&b).is_ok());
+        prop_assert_eq!(ProduceRequest::decode_bytes(&b).is_ok(), ProduceRequest::decode(&b).is_ok());
+        prop_assert_eq!(FetchResponse::decode_bytes(&b).is_ok(), FetchResponse::decode(&b).is_ok());
+        prop_assert_eq!(
+            BackupWriteRequest::decode_bytes(&b).is_ok(),
+            BackupWriteRequest::decode(&b).is_ok()
+        );
+        prop_assert_eq!(
+            FollowerFetchResponse::decode_bytes(&b).is_ok(),
+            FollowerFetchResponse::decode(&b).is_ok()
+        );
+    }
+
+    /// A real produce request — a packed chunk train — truncated or
+    /// bit-flipped anywhere: the sliced decoder and the copying decoder
+    /// agree on accept/reject, and whenever both accept, they produce
+    /// identical structures (the slice views the same bytes the copy
+    /// owns).
+    #[test]
+    fn mangled_produce_request_sliced_decode_matches_copy(
+        nrec in 1usize..16,
+        cut_num in 0usize..10_000,
+        flip_byte in 0usize..10_000,
+        flip_bit in 0u8..8,
+    ) {
+        use kera::common::ids::{ProducerId, StreamId, StreamletId};
+        use kera::wire::chunk::ChunkBuilder;
+        use kera::wire::record::Record;
+
+        let mut b = ChunkBuilder::new(8192, ProducerId(3), StreamId(1), StreamletId(0));
+        let payload = [0xabu8; 64];
+        let chunks: Vec<bytes::Bytes> = (0..2)
+            .map(|_| {
+                for _ in 0..nrec {
+                    assert!(b.append(&Record::value_only(&payload)));
+                }
+                b.seal()
+            })
+            .collect();
+        let encoded = ProduceRequest::encode_chunks(ProducerId(3), false, &chunks);
+
+        // Truncation anywhere.
+        let cut = cut_num % (encoded.len() + 1);
+        let truncated = encoded.slice(0..cut);
+        match (ProduceRequest::decode(&truncated), ProduceRequest::decode_bytes(&truncated)) {
+            (Ok(a), Ok(c)) => {
+                prop_assert_eq!(a.producer, c.producer);
+                prop_assert_eq!(a.recovery, c.recovery);
+                prop_assert_eq!(a.chunk_count, c.chunk_count);
+                prop_assert_eq!(&a.chunks[..], &c.chunks[..]);
+            }
+            (Err(_), Err(_)) => {}
+            (a, c) => prop_assert!(false, "decoders disagree at cut {}: {:?} vs {:?}", cut, a.is_ok(), c.is_ok()),
+        }
+
+        // A single bit flip.
+        let mut mutant = encoded.to_vec();
+        let i = flip_byte % mutant.len();
+        mutant[i] ^= 1 << flip_bit;
+        let mutant = bytes::Bytes::from(mutant);
+        match (ProduceRequest::decode(&mutant), ProduceRequest::decode_bytes(&mutant)) {
+            (Ok(a), Ok(c)) => prop_assert_eq!(&a.chunks[..], &c.chunks[..]),
+            (Err(_), Err(_)) => {}
+            (a, c) => prop_assert!(false, "decoders disagree on flip: {:?} vs {:?}", a.is_ok(), c.is_ok()),
+        }
+    }
+
+    /// Same contract for the replication path: an `EncodedBackupWrite`
+    /// body truncated anywhere decodes identically through the sliced
+    /// and copying decoders — the backup must never accept a batch the
+    /// seed would have rejected (or vice versa).
+    #[test]
+    fn truncated_backup_write_sliced_decode_matches_copy(
+        body in proptest::collection::vec(any::<u8>(), 0..128),
+        cut_num in 0usize..10_000,
+    ) {
+        use kera::common::ids::{NodeId, VirtualLogId, VirtualSegmentId};
+
+        let req = EncodedBackupWrite::pack(
+            NodeId(2),
+            VirtualLogId(7),
+            VirtualSegmentId(11),
+            640,
+            backup_flags::OPEN,
+            0,
+            1,
+            body.len(),
+            std::iter::once(&body[..]),
+        );
+        let encoded = req.body();
+        let cut = cut_num % (encoded.len() + 1);
+        let truncated = encoded.slice(0..cut);
+        match (BackupWriteRequest::decode(&truncated), BackupWriteRequest::decode_bytes(&truncated)) {
+            (Ok(a), Ok(c)) => {
+                prop_assert_eq!(a.source_broker, c.source_broker);
+                prop_assert_eq!(a.vlog, c.vlog);
+                prop_assert_eq!(a.vseg, c.vseg);
+                prop_assert_eq!(a.vseg_offset, c.vseg_offset);
+                prop_assert_eq!(a.flags, c.flags);
+                prop_assert_eq!(a.chunk_count, c.chunk_count);
+                prop_assert_eq!(&a.chunks[..], &c.chunks[..]);
+            }
+            (Err(_), Err(_)) => {}
+            (a, c) => prop_assert!(false, "decoders disagree at cut {}: {:?} vs {:?}", cut, a.is_ok(), c.is_ok()),
+        }
     }
 
     /// A record with a corrupted header either fails to parse or fails

@@ -211,6 +211,7 @@ impl BackupService {
         self.writes.inc();
         self.chunks_received.add(u64::from(count));
         self.bytes_received.add(req.chunks.len() as u64);
+        self.obs.bump_progress();
 
         if req.flags & backup_flags::CLOSE != 0 {
             let actual = seg.checksum.finish();
@@ -302,6 +303,22 @@ impl Service for BackupService {
             OpCode::RecoveryRead => {
                 let req = RecoveryReadRequest::decode(&payload)?;
                 self.handle_recovery_read(req)
+            }
+            OpCode::Introspect => {
+                let held = self.bytes_held() as u64;
+                crate::introspect::serve(
+                    &self.obs,
+                    &payload,
+                    crate::introspect::HealthFields {
+                        role: kera_wire::messages::introspect_role::BACKUP,
+                        segments: self.segment_count() as u32,
+                        // Everything a backup holds is durable by
+                        // definition; it IS the durable copy.
+                        appended_bytes: held,
+                        durable_bytes: held,
+                        ..Default::default()
+                    },
+                )
             }
             other => Err(KeraError::Protocol(format!("backup cannot serve {other:?}"))),
         }

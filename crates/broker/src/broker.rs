@@ -13,15 +13,18 @@
 //!
 //! Fetch path: consumers read whole chunks below the durable head only.
 
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use kera_common::config::{QuotaConfig, StreamConfig};
-use kera_common::ids::{NodeId, StreamId};
+use kera_common::ids::{NodeId, StreamId, StreamletId};
 use kera_common::metrics::Counter;
 use kera_common::{KeraError, Result};
-use kera_obs::{NodeObs, Stage};
+use kera_obs::{Gauge, NodeObs, Stage};
+use parking_lot::Mutex;
 use kera_rpc::{RequestContext, RpcClient, Service};
 use kera_storage::store::StreamStore;
 use kera_storage::streamlet::SlotAppend;
@@ -29,13 +32,16 @@ use kera_vlog::selector::SelectionPolicy;
 use kera_vlog::vseg::ChunkRef;
 use kera_vlog::{ReplicationDriver, VirtualLog, VirtualLogSet};
 use kera_wire::chunk::ChunkIter;
+use kera_wire::cursor::SlotCursor;
 use kera_wire::frames::OpCode;
 use kera_wire::messages::{
-    FetchRequest, FetchResponse, FetchResult, HostStreamRequest, ProduceRequest,
-    ProduceResponse, QuotaStateRequest, ReplicaRole, SeekRequest, SeekResponse,
+    introspect_role, FetchRequest, FetchResponse, FetchResult, HostStreamRequest,
+    ProduceRequest, ProduceResponse, QuotaStateRequest, ReplicaRole, SeekRequest,
+    SeekResponse,
 };
 
 use crate::channel::RpcBackupChannel;
+use crate::introspect::{self, HealthFields};
 use crate::quota::{AdmissionControl, AdmissionPermit};
 
 /// Timeout for one replication round.
@@ -69,6 +75,22 @@ pub struct BrokerService {
     /// Retried chunks answered from the per-slot replay cache instead of
     /// being appended a second time (`kera.broker.chunks_replayed`).
     pub chunks_replayed: Arc<Counter>,
+    /// Chunk bytes served to consumers (`kera.broker.bytes_fetched`).
+    pub bytes_fetched: Arc<Counter>,
+    /// Bytes ingested but not yet fetched by any consumer
+    /// (`kera.broker.consumer_lag_bytes`; refreshed on introspection).
+    consumer_lag_gauge: Arc<Gauge>,
+    /// Bytes appended to virtual logs but not yet durable on backups
+    /// (`kera.broker.replication_lag_bytes`; refreshed on introspection).
+    replication_lag_gauge: Arc<Gauge>,
+    /// Last-fetched cursor per (stream, streamlet, slot): the consumers'
+    /// committed read positions. Updated only on the fetch path, with no
+    /// other guard held.
+    fetch_pos: Mutex<BTreeMap<(StreamId, StreamletId, u32), SlotCursor>>,
+    /// Chaos hook: a frozen broker wedges mid-ingest — produce requests
+    /// hang (holding their RPC worker) until thawed, while fetch and
+    /// introspection keep answering.
+    frozen: AtomicBool,
 }
 
 impl BrokerService {
@@ -147,6 +169,11 @@ impl BrokerService {
             bytes_in: reg.counter("kera.broker.bytes_in", &[]),
             fetches: reg.counter("kera.broker.fetches", &[]),
             chunks_replayed: reg.counter("kera.broker.chunks_replayed", &[]),
+            bytes_fetched: reg.counter("kera.broker.bytes_fetched", &[]),
+            consumer_lag_gauge: reg.gauge("kera.broker.consumer_lag_bytes", &[]),
+            replication_lag_gauge: reg.gauge("kera.broker.replication_lag_bytes", &[]),
+            fetch_pos: Mutex::named("broker.fetchpos", BTreeMap::new()),
+            frozen: AtomicBool::new(false),
             admission: AdmissionControl::new(quotas, Arc::clone(&obs)),
             obs,
         })
@@ -188,6 +215,40 @@ impl BrokerService {
 
     pub fn vlogs(&self) -> &VirtualLogSet {
         &self.vlogs
+    }
+
+    /// Chaos hook: wedge the ingest path — produce requests hang until
+    /// [`BrokerService::thaw`]. Fetch and introspection keep answering:
+    /// a stalled data plane must stay observable.
+    pub fn freeze(&self) {
+        self.frozen.store(true, Ordering::SeqCst);
+    }
+
+    pub fn thaw(&self) {
+        self.frozen.store(false, Ordering::SeqCst);
+    }
+
+    fn wait_if_frozen(&self, ctx: &RequestContext) -> Result<()> {
+        while self.frozen.load(Ordering::SeqCst) {
+            if let Some(d) = ctx.deadline {
+                if Instant::now() >= d {
+                    return Err(KeraError::Timeout { op: "frozen broker" });
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+
+    /// Bytes ingested but never fetched by any consumer — the broker's
+    /// aggregate committed-offset lag.
+    pub fn consumer_lag_bytes(&self) -> u64 {
+        self.bytes_in.get().saturating_sub(self.bytes_fetched.get())
+    }
+
+    /// Slots with at least one recorded consumer fetch position.
+    pub fn tracked_fetch_slots(&self) -> usize {
+        self.fetch_pos.lock().len()
     }
 
     fn handle_host(&self, req: HostStreamRequest) -> Result<()> {
@@ -316,6 +377,7 @@ impl BrokerService {
             }
             rep_span.finish();
         }
+        self.obs.bump_progress();
         Ok(ProduceResponse { acks })
     }
 
@@ -355,6 +417,10 @@ impl BrokerService {
                 e.cursor,
                 e.max_bytes as usize,
             )?;
+            self.bytes_fetched.add(data.len() as u64);
+            // Committed read position, recorded with no other guard held
+            // (the slot read above has already released its locks).
+            self.fetch_pos.lock().insert((e.stream, e.streamlet, e.slot), cursor);
             results.push(FetchResult {
                 stream: e.stream,
                 streamlet: e.streamlet,
@@ -364,7 +430,42 @@ impl BrokerService {
             });
         }
         self.fetches.inc();
+        self.obs.bump_progress();
         Ok(FetchResponse { results })
+    }
+
+    /// Serves the Introspect RPC: health from the broker's own stores
+    /// and quota gate, metrics/traces via the shared helper. Refreshes
+    /// the lag gauges as a side effect so metric scrapes see them too.
+    fn handle_introspect(&self, ctx: &RequestContext, payload: &[u8]) -> Result<Bytes> {
+        let logs = self.vlogs.all_logs();
+        let appended: u64 = logs.iter().map(|l| l.appended()).sum();
+        let durable: u64 = logs.iter().map(|l| l.durable()).sum();
+        let segments: usize = logs.iter().map(|l| l.live_vsegs()).sum();
+        let consumer_lag = self.consumer_lag_bytes();
+        self.consumer_lag_gauge.set(consumer_lag.min(i64::MAX as u64) as i64);
+        self.replication_lag_gauge
+            .set(appended.saturating_sub(durable).min(i64::MAX as u64) as i64);
+        let quota = self.admission.snapshot(ctx.from.raw());
+        introspect::serve(
+            &self.obs,
+            payload,
+            HealthFields {
+                role: introspect_role::BROKER,
+                is_leader: false,
+                term: 0,
+                vlogs: self.vlogs.log_count() as u32,
+                segments: segments as u32,
+                appended_bytes: appended,
+                durable_bytes: durable,
+                consumer_lag_bytes: consumer_lag,
+                quota_enabled: self.admission.is_enabled(),
+                quota_queue_bytes: quota.queue_bytes,
+                quota_queue_hwm_bytes: quota.queue_hwm_bytes,
+                quota_throttles: quota.throttles,
+                quota_rejections: quota.rejections,
+            },
+        )
     }
 }
 
@@ -380,6 +481,7 @@ impl Service for BrokerService {
             // Recovery re-ingestion is "handled as a normal producer
             // request" (paper §IV-B).
             OpCode::Produce | OpCode::RecoveryIngest => {
+                self.wait_if_frozen(ctx)?;
                 // Slice the chunk train straight out of the receive
                 // buffer: the broker never re-owns the payload.
                 let req = ProduceRequest::decode_bytes(&payload)?;
@@ -418,6 +520,7 @@ impl Service for BrokerService {
                     if req.tenant == u32::MAX { ctx.from.raw() } else { req.tenant };
                 Ok(self.admission.snapshot(tenant).encode())
             }
+            OpCode::Introspect => self.handle_introspect(ctx, &payload),
             OpCode::Seek => {
                 let req = SeekRequest::decode(&payload)?;
                 let streamlet = self.store.streamlet(req.stream, req.streamlet)?;

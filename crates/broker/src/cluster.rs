@@ -13,7 +13,7 @@ use std::sync::Arc;
 use kera_common::config::{ClusterConfig, TransportChoice};
 use kera_common::ids::NodeId;
 use kera_common::Result;
-use kera_obs::{NodeObs, RegistrySnapshot};
+use kera_obs::{NodeObs, RegistrySnapshot, Watchdog};
 use kera_rpc::network::TransportKind;
 use kera_rpc::{AnyNetwork, FaultInjector, FaultPlan, NodeRuntime, NullService, Transport};
 use kera_storage::flush::DiskFlusher;
@@ -65,6 +65,9 @@ pub struct KeraCluster {
     node_obs: Vec<Arc<NodeObs>>,
     /// Client-node handles, collected as [`KeraCluster::client`] runs.
     client_obs: Mutex<Vec<Arc<NodeObs>>>,
+    /// Per-server-node stall watchdogs, armed when `KERA_WATCHDOG_MS` is
+    /// set. Dropping the cluster stops and joins them.
+    watchdogs: Vec<Watchdog>,
 }
 
 /// True when `KERA_FLIGHTREC` asks for crash dumps of the per-node event
@@ -199,6 +202,19 @@ impl KeraCluster {
             kera_obs::install_panic_hook(std::path::Path::new("results"));
         }
 
+        // Arm the per-node stall watchdogs. A node counts as stalled when
+        // it has RPCs in flight but its progress counter stops moving for
+        // the configured window; the watchdog then auto-dumps that node's
+        // flight-recorder ring and slow-trace store under results/tmp/.
+        let mut watchdogs = Vec::new();
+        if let Some(ms) = kera_obs::watchdog_ms_from_env() {
+            let threshold = std::time::Duration::from_millis(ms);
+            let base = std::path::Path::new("results");
+            for obs in &node_obs {
+                watchdogs.push(Watchdog::arm(obs, threshold, base));
+            }
+        }
+
         Ok(KeraCluster {
             net,
             config,
@@ -211,6 +227,7 @@ impl KeraCluster {
             backup_svcs,
             node_obs,
             client_obs: Mutex::named("cluster.client_obs", Vec::new()),
+            watchdogs,
         })
     }
 
@@ -266,6 +283,41 @@ impl KeraCluster {
     pub fn thaw_coordinator(&self, i: u32) {
         if let Some(svc) = self.coordinator_svcs.get(i as usize) {
             svc.thaw();
+        }
+    }
+
+    /// Wedges broker `i`'s data plane without exiting it: produce-path
+    /// requests hang until [`KeraCluster::thaw_broker`]. Fetches and the
+    /// introspection plane stay live — a stalled data plane must remain
+    /// observable, and the stall watchdog is expected to notice this
+    /// exact failure mode.
+    pub fn freeze_broker(&self, i: u32) {
+        if let Some(svc) = self.broker_svcs.get(i as usize) {
+            svc.freeze();
+        }
+    }
+
+    pub fn thaw_broker(&self, i: u32) {
+        if let Some(svc) = self.broker_svcs.get(i as usize) {
+            svc.thaw();
+        }
+    }
+
+    /// The armed stall watchdogs (empty unless `KERA_WATCHDOG_MS` was set
+    /// when the cluster booted or [`KeraCluster::arm_watchdogs`] ran), in
+    /// server-node registration order.
+    pub fn watchdogs(&self) -> &[Watchdog] {
+        &self.watchdogs
+    }
+
+    /// Arms a stall watchdog on every server node — the programmatic
+    /// twin of booting with `KERA_WATCHDOG_MS` (chaos drills use this so
+    /// they never mutate process-global env). Idempotent arming is not
+    /// attempted: calling it twice doubles the monitors.
+    pub fn arm_watchdogs(&mut self, threshold: std::time::Duration) {
+        let base = std::path::Path::new("results");
+        for obs in &self.node_obs {
+            self.watchdogs.push(Watchdog::arm(obs, threshold, base));
         }
     }
 
@@ -327,13 +379,17 @@ impl KeraCluster {
         snap
     }
 
-    /// Dumps every node's flight-recorder ring into `dir` (chaos-failure
-    /// path; the panic hook does the same on its own).
-    pub fn dump_flight_recorders(&self, dir: &std::path::Path, reason: &str) -> Vec<std::path::PathBuf> {
+    /// Dumps every node's flight-recorder ring under a fresh
+    /// run-discriminated directory below `base/tmp/flightrec/` (chaos-
+    /// failure path; the panic hook does the same on its own). Routing
+    /// through [`kera_obs::dump_run_dir`] keeps concurrent test runs from
+    /// clobbering each other's dumps.
+    pub fn dump_flight_recorders(&self, base: &std::path::Path, reason: &str) -> Vec<std::path::PathBuf> {
+        let dir = kera_obs::dump_run_dir(base, reason);
         let mut paths = Vec::new();
         for obs in self.node_obs.iter().chain(self.client_obs.lock().iter()) {
             if obs.recorder().recorded() > 0 {
-                if let Ok(p) = obs.recorder().dump_to_dir(dir) {
+                if let Ok(p) = obs.recorder().dump_to_dir(&dir) {
                     paths.push(p);
                 }
             }

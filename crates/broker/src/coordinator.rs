@@ -192,11 +192,12 @@ impl CoordinatorService {
     pub fn start_ticker(self: &Arc<Self>) {
         if self.replicas.len() == 1 {
             {
+                let now = Instant::now();
                 let mut st = self.replica.lock();
                 if !st.election.is_leader() {
                     let (li, lt) = (st.log.last_index(), st.log.last_term());
                     st.election.start_election(li, lt);
-                    st.leader_since = Some(Instant::now());
+                    st.leader_since = Some(now);
                 }
             }
             let _ = self.ensure_brokers_registered();
@@ -254,6 +255,39 @@ impl CoordinatorService {
     fn set_tenure_ms(&self, v: i64) {
         if let Some(obs) = self.obs() {
             obs.registry().gauge("coord_leader_tenure_ms", &[]).set(v);
+        }
+    }
+
+    /// Progress heartbeat for the stall watchdog: committed/accepted
+    /// metadata entries are this replica's unit of real work.
+    fn bump_progress(&self) {
+        if let Some(obs) = self.obs() {
+            obs.bump_progress();
+        }
+    }
+
+    /// Serves the Introspect RPC. Deliberately *not* gated on the frozen
+    /// chaos hook: a wedged replica is exactly the node an operator most
+    /// needs to scrape.
+    fn handle_introspect(&self, payload: &[u8]) -> Result<Bytes> {
+        let (is_leader, term, streams) = {
+            let st = self.replica.lock();
+            (st.election.is_leader(), st.election.term(), st.state.streams.len())
+        };
+        let fields = crate::introspect::HealthFields {
+            role: kera_wire::messages::introspect_role::COORDINATOR,
+            is_leader,
+            term,
+            // Committed streams stand in for the segment count on the
+            // control plane.
+            segments: streams as u32,
+            ..Default::default()
+        };
+        match self.obs() {
+            Some(obs) => crate::introspect::serve(obs, payload, fields),
+            // Not attached to a runtime yet: answer with an inert handle
+            // so the health header still goes out.
+            None => crate::introspect::serve(&NodeObs::disabled(self.node.raw()), payload, fields),
         }
     }
 
@@ -388,6 +422,9 @@ impl CoordinatorService {
             }
         }
 
+        // Clock read hoisted above the lock (no-time-under-lock): an
+        // ack timestamp a hair early only shortens the leader's lease.
+        let acked_at = Instant::now();
         let mut st = self.replica.lock();
         let mut successes = 0usize;
         for (peer, resp) in responses {
@@ -414,7 +451,7 @@ impl CoordinatorService {
         }
         if st.election.is_leader() {
             if successes + 1 >= st.election.quorum() {
-                st.last_quorum_ack = Instant::now();
+                st.last_quorum_ack = acked_at;
             }
             Self::advance_commit(&mut st);
             self.maybe_compact(&mut st);
@@ -438,6 +475,16 @@ impl CoordinatorService {
     /// Drives append rounds until the record at `target` is committed,
     /// the deadline passes, or we are deposed.
     fn replicate_to_commit(&self, target: u64, deadline: Instant) -> Result<()> {
+        let r = self.replicate_to_commit_inner(target, deadline);
+        if r.is_ok() {
+            // A committed metadata entry is control-plane progress (the
+            // stall watchdog watches this heartbeat).
+            self.bump_progress();
+        }
+        r
+    }
+
+    fn replicate_to_commit_inner(&self, target: u64, deadline: Instant) -> Result<()> {
         loop {
             let batches = {
                 let mut st = self.replica.lock();
@@ -559,10 +606,11 @@ impl CoordinatorService {
                 .max(Duration::from_millis(1));
             let Ok(bytes) = call.wait(left) else { continue };
             let Ok(resp) = VoteResponse::decode(&bytes) else { continue };
+            let now = Instant::now();
             let mut st = self.replica.lock();
             if st.election.on_vote_response(peer, &resp) {
-                st.leader_since = Some(Instant::now());
-                st.last_quorum_ack = Instant::now();
+                st.leader_since = Some(now);
+                st.last_quorum_ack = now;
                 let floor = st.log.last_index().min(st.commit_index);
                 for p in st.election.peers().to_vec() {
                     // Optimistically assume peers hold our committed
@@ -645,6 +693,7 @@ impl CoordinatorService {
     fn handle_vote(&self, payload: &Bytes) -> Result<Bytes> {
         let req = VoteRequest::decode(payload)?;
         let resp = {
+            let now = Instant::now();
             let mut st = self.replica.lock();
             let was_leader = st.election.is_leader();
             let (li, lt) = (st.log.last_index(), st.log.last_term());
@@ -652,7 +701,7 @@ impl CoordinatorService {
             if resp.granted {
                 // We promised our vote; grant the candidate a full
                 // election window before campaigning ourselves.
-                st.last_leader_contact = Instant::now();
+                st.last_leader_contact = now;
             }
             if was_leader && !st.election.is_leader() {
                 self.note_stepdown(&mut st);
@@ -665,6 +714,7 @@ impl CoordinatorService {
 
     fn handle_append(&self, payload: &Bytes) -> Result<Bytes> {
         let req = MetaAppendRequest::decode(payload)?;
+        let now = Instant::now();
         let mut st = self.replica.lock();
         let was_leader = st.election.is_leader();
         if !st.election.on_leader_contact(req.term, req.leader) {
@@ -675,7 +725,7 @@ impl CoordinatorService {
         if was_leader && !st.election.is_leader() {
             self.note_stepdown(&mut st);
         }
-        st.last_leader_contact = Instant::now();
+        st.last_leader_contact = now;
 
         if let Some(snap) = &req.snapshot {
             if snap.last_index > st.applied_index {
@@ -720,6 +770,8 @@ impl CoordinatorService {
             success: true,
             match_index: st.log.last_index(),
         };
+        drop(st);
+        self.bump_progress();
         Ok(resp.encode())
     }
 
@@ -897,6 +949,10 @@ impl CoordinatorService {
 
 impl Service for CoordinatorService {
     fn handle(&self, ctx: &RequestContext, payload: Bytes) -> Result<Bytes> {
+        if ctx.opcode == OpCode::Introspect {
+            // The introspection plane bypasses the frozen chaos hook.
+            return self.handle_introspect(&payload);
+        }
         self.wait_if_frozen(ctx)?;
         match ctx.opcode {
             OpCode::Ping => Ok(Bytes::new()),

@@ -27,6 +27,7 @@ pub mod channel;
 pub mod cluster;
 pub mod coordinator;
 pub mod election;
+pub mod introspect;
 pub mod metalog;
 pub mod quota;
 

@@ -165,6 +165,26 @@ struct Shared {
     /// the requests thread returns them once a chunk has been packed
     /// into a request body.
     pool: Arc<BufferPool>,
+    /// Pool health exported to the node registry
+    /// (`kera.client.pool_{hits,misses,outstanding}{producer=<id>}`);
+    /// refreshed by the requests thread, so a registry snapshot taken at
+    /// any moment sees near-current values.
+    pool_hits: Arc<kera_obs::Gauge>,
+    pool_misses: Arc<kera_obs::Gauge>,
+    pool_outstanding: Arc<kera_obs::Gauge>,
+}
+
+impl Shared {
+    /// Publishes the buffer pool's counters as gauges. A miss means a
+    /// chunk allocation fell through the free-list (pool exhausted or
+    /// mismatched capacity) — a rising miss rate is the first sign the
+    /// producer's pool is undersized for its queue depth.
+    fn export_pool_stats(&self) {
+        let s = self.pool.stats();
+        self.pool_hits.set(s.hits.min(i64::MAX as u64) as i64);
+        self.pool_misses.set(s.misses.min(i64::MAX as u64) as i64);
+        self.pool_outstanding.set(s.outstanding);
+    }
 }
 
 /// A producer client.
@@ -200,6 +220,12 @@ impl Producer {
             rpc.obs().registry().counter("kera.client.failed_requests", &[("producer", &pid)]);
         let throttled =
             rpc.obs().registry().counter("kera.client.throttles", &[("producer", &pid)]);
+        let pool_hits =
+            rpc.obs().registry().gauge("kera.client.pool_hits", &[("producer", &pid)]);
+        let pool_misses =
+            rpc.obs().registry().gauge("kera.client.pool_misses", &[("producer", &pid)]);
+        let pool_outstanding =
+            rpc.obs().registry().gauge("kera.client.pool_outstanding", &[("producer", &pid)]);
         let window = Mutex::named("client.window", WindowState {
             inflight_bytes: 0,
             inflight_requests: 0,
@@ -227,6 +253,9 @@ impl Producer {
             throttled,
             window,
             pool,
+            pool_hits,
+            pool_misses,
+            pool_outstanding,
         });
         let requests_thread = {
             let shared = Arc::clone(&shared);
@@ -434,6 +463,7 @@ fn requests_loop(shared: Arc<Shared>, ready_rx: Receiver<SealedChunk>) {
     loop {
         // Reap whatever completed without blocking.
         reap(&shared, &mut inflight, false);
+        shared.export_pool_stats();
 
         if shared.shutdown.load(Ordering::SeqCst) {
             if shared.discard.load(Ordering::SeqCst) {

@@ -24,6 +24,7 @@ pub const RULE_NO_PANIC: &str = "no-panic";
 pub const RULE_SAFETY: &str = "safety-comment";
 pub const RULE_NO_PRINTLN: &str = "no-println-hot-path";
 pub const RULE_NO_HOT_COPY: &str = "no-hot-copy";
+pub const RULE_NO_TIME_UNDER_LOCK: &str = "no-time-under-lock";
 
 /// Method names that acquire a lock guard when called with no arguments.
 const ACQUIRE_METHODS: [&str; 3] = ["lock", "read", "write"];
@@ -328,6 +329,38 @@ fn token_pass(
                             "`{recv}.{m}()` copies a payload on the data plane — slice a \
                              `Bytes` view instead, or annotate \
                              `// lint: allow(no-hot-copy) — <reason>` (e.g. refcount clone)"
+                        ),
+                    ));
+                }
+            }
+            (TokKind::Ident, "Instant")
+                if is_punct(i + 1, ":")
+                    && is_punct(i + 2, ":")
+                    && ident_at(i + 3) == Some("now")
+                    && is_punct(i + 4, "(")
+                    && hot_path
+                    && !in_test =>
+            {
+                // Reading the clock is a syscall-ish stall (~20-60ns, and
+                // vastly worse under vDSO fallback); doing it inside a
+                // guard scope stretches every contender's wait. The lock
+                // shim's two-phase contention timer is the sanctioned way
+                // to time lock waits (crates/shims is skip-listed).
+                for g in &guards {
+                    findings.push(finding(
+                        path,
+                        t.line,
+                        RULE_NO_TIME_UNDER_LOCK,
+                        format!(
+                            "`Instant::now()` while holding guard on `{}`{} acquired at \
+                             line {} — read the clock before acquiring, or annotate \
+                             `// lint: allow(no-time-under-lock) — <reason>`",
+                            g.recv,
+                            g.class
+                                .as_deref()
+                                .map(|c| format!(" [class {c}]"))
+                                .unwrap_or_default(),
+                            g.line
                         ),
                     ));
                 }
@@ -714,6 +747,47 @@ inner = "b.inner"
     #[test]
     fn hot_copy_allow_annotation_suppresses() {
         let src = "fn f(e: &Env) {\n    // lint: allow(no-hot-copy) — refcount clone\n    ship(e.payload.clone());\n}";
+        let (f, suppressed) = analyze("t.rs", "hot", src, false, &cfg());
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn time_under_lock_fires_in_hot_crates() {
+        let src = "fn f(s: &S) { let g = s.inner.lock(); let t = Instant::now(); use_it(g, t); }";
+        let f = run("hot", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_NO_TIME_UNDER_LOCK);
+        assert!(f[0].message.contains("inner"), "{}", f[0].message);
+
+        // Clock read before the guard, or released first: clean.
+        assert!(run(
+            "hot",
+            "fn f(s: &S) { let t = Instant::now(); let g = s.inner.lock(); use_it(g, t); }"
+        )
+        .is_empty());
+        assert!(run(
+            "hot",
+            "fn f(s: &S) { { let g = s.inner.lock(); } let t = Instant::now(); }"
+        )
+        .is_empty());
+        // Fully qualified paths resolve through the same suffix.
+        assert_eq!(
+            run(
+                "hot",
+                "fn f(s: &S) { let g = s.m.lock(); let t = std::time::Instant::now(); }"
+            )
+            .len(),
+            1
+        );
+        // Cold crates and test code are exempt.
+        assert!(run("cold", "fn f(s: &S) { let g = s.m.lock(); Instant::now(); }").is_empty());
+        assert!(run("hot", "#[test] fn t() { let g = s.m.lock(); Instant::now(); }").is_empty());
+    }
+
+    #[test]
+    fn time_under_lock_allow_annotation_suppresses() {
+        let src = "fn f(s: &S) {\n    let g = s.m.lock();\n    // lint: allow(no-time-under-lock) — coarse shutdown path\n    let t = Instant::now();\n}";
         let (f, suppressed) = analyze("t.rs", "hot", src, false, &cfg());
         assert!(f.is_empty(), "{f:?}");
         assert_eq!(suppressed, 1);

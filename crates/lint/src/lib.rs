@@ -15,6 +15,10 @@
 //!   obs event log / flight recorder instead
 //! - `safety-comment`   every `unsafe` block / `unsafe impl` needs a
 //!   `// SAFETY:` comment
+//! - `no-time-under-lock` `Instant::now()` banned inside lock-guard
+//!   scopes in non-test code of hot-path crates — time outside the
+//!   guard; lock-wait timing belongs to the parking_lot shim's
+//!   contention timer (`crates/shims` is exempt)
 //!
 //! Findings are suppressed by `// lint: allow(<rule>) — <reason>` on the
 //! same line or up to two lines above; the reason is mandatory.

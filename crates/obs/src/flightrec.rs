@@ -187,6 +187,39 @@ impl FlightRecorder {
     }
 }
 
+/// Per-process dump sequence: two dumps in one process (two chaos drills,
+/// a panic after a watchdog fire, ...) land in distinct directories.
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Reasons become path components; keep them shell- and glob-friendly.
+fn sanitize_reason(reason: &str) -> String {
+    let mut s: String = reason
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '-' })
+        .collect();
+    s.truncate(48);
+    if s.is_empty() {
+        s.push_str("dump");
+    }
+    s
+}
+
+/// A unique directory for one dump invocation. Dumps are diagnostic
+/// output, not canonical results, so they live under
+/// `<base>/tmp/flightrec/<reason>-<pid>-<seq>/` — the per-node file name
+/// inside (`flightrec-<node>.json`) is keyed only by node id, and the
+/// run/test discriminator in the directory stops two tests (or two runs)
+/// sharing `results/` from overwriting each other's dumps.
+pub fn dump_run_dir(base: &std::path::Path, reason: &str) -> std::path::PathBuf {
+    let seq = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    base.join("tmp").join("flightrec").join(format!(
+        "{}-{}-{}",
+        sanitize_reason(reason),
+        std::process::id(),
+        seq
+    ))
+}
+
 /// Recorders registered for the panic-dump hook. `std::sync::Mutex`: the
 /// panic hook must not re-enter lockdep-instrumented locks.
 // lint: allow(std-lock) — panic-hook path must avoid instrumented locks
@@ -203,16 +236,18 @@ pub fn register_for_dump(rec: &Arc<FlightRecorder>) {
     }
 }
 
-/// Dumps every registered recorder to `dir`, announcing each file (and a
-/// short tail of events) on stderr. Returns the files written.
-pub fn dump_all(dir: &std::path::Path, reason: &str) -> Vec<std::path::PathBuf> {
+/// Dumps every registered recorder into a fresh [`dump_run_dir`] under
+/// `base`, announcing each file (and a short tail of events) on stderr.
+/// Returns the files written.
+pub fn dump_all(base: &std::path::Path, reason: &str) -> Vec<std::path::PathBuf> {
     let recs: Vec<Arc<FlightRecorder>> = match dump_registry().lock() {
         Ok(regs) => regs.iter().filter_map(Weak::upgrade).collect(),
         Err(_) => Vec::new(),
     };
+    let dir = dump_run_dir(base, reason);
     let mut written = Vec::new();
     for rec in recs {
-        match rec.dump_to_dir(dir) {
+        match rec.dump_to_dir(&dir) {
             Ok(path) => {
                 eprintln!(
                     "[flightrec] {}: node {} -> {} ({} events recorded)",
@@ -246,7 +281,8 @@ pub fn dump_all(dir: &std::path::Path, reason: &str) -> Vec<std::path::PathBuf> 
 }
 
 /// Installs a panic hook (once per process) that dumps every registered
-/// recorder to `dir` before delegating to the previous hook.
+/// recorder under `dir` (routed through [`dump_run_dir`] with reason
+/// `panic`) before delegating to the previous hook.
 pub fn install_panic_hook(dir: &std::path::Path) {
     static INSTALLED: OnceLock<()> = OnceLock::new();
     let dir = dir.to_path_buf();
@@ -336,6 +372,42 @@ mod tests {
         assert!(json.starts_with("{\"node\":3,"));
         assert!(json.contains("\"stage\":\"append\""));
         assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn dump_run_dirs_are_unique_and_sanitized() {
+        let base = std::path::Path::new("results");
+        let a = dump_run_dir(base, "chaos: broker #1 froze");
+        let b = dump_run_dir(base, "chaos: broker #1 froze");
+        assert_ne!(a, b, "each dump invocation gets its own directory");
+        assert!(a.starts_with("results/tmp/flightrec"));
+        let leaf = a.file_name().unwrap().to_str().unwrap();
+        assert!(
+            leaf.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'),
+            "unsafe chars leaked into {leaf}"
+        );
+        assert!(leaf.starts_with("chaos--broker--1-froze-"));
+    }
+
+    #[test]
+    fn dump_all_routes_to_discriminated_run_dir() {
+        let base = std::env::temp_dir().join(format!("kera-dumpall-test-{}", std::process::id()));
+        let r = FlightRecorder::new(11, 16);
+        register_for_dump(&r);
+        r.record(&rec(1));
+        let written = dump_all(&base, "unit test");
+        let ours: Vec<_> =
+            written.iter().filter(|p| p.ends_with("flightrec-11.json")).collect();
+        assert_eq!(ours.len(), 1, "written: {written:?}");
+        assert!(ours[0].starts_with(base.join("tmp").join("flightrec")));
+        // A second dump of the same node must not overwrite the first.
+        let again = dump_all(&base, "unit test");
+        let ours2: Vec<_> =
+            again.iter().filter(|p| p.ends_with("flightrec-11.json")).collect();
+        assert_eq!(ours2.len(), 1);
+        assert_ne!(ours[0], ours2[0]);
+        assert!(ours[0].exists() && ours2[0].exists());
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

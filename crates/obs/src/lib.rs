@@ -19,18 +19,22 @@
 
 pub mod flightrec;
 pub mod registry;
+pub mod slowtrace;
 pub mod trace;
+pub mod watchdog;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use kera_common::metrics::LatencyHistogram;
+use kera_common::metrics::{HistogramSnapshot, LatencyHistogram};
 
 pub use flightrec::{
-    dump_all, install_panic_hook, register_for_dump, EventRecord, FlightRecorder,
+    dump_all, dump_run_dir, install_panic_hook, register_for_dump, EventRecord, FlightRecorder,
 };
 pub use registry::{Gauge, MetricKey, MetricsRegistry, RegistrySnapshot};
+pub use slowtrace::{SlowSpan, SlowTraceStore};
 pub use trace::{current, enter, ContextGuard, Stage, TraceContext, STAGE_COUNT};
+pub use watchdog::{watchdog_ms_from_env, Watchdog};
 
 /// One node's observability handle.
 pub struct NodeObs {
@@ -44,6 +48,16 @@ pub struct NodeObs {
     /// Span/trace id allocator; ids embed the node so they are unique
     /// across an in-process cluster.
     next_id: AtomicU64,
+    /// Tail-sampled slowest/errored spans per stage (introspection).
+    slow: SlowTraceStore,
+    /// Monotone progress heartbeat: subsystems bump it whenever real work
+    /// completes (append accepted, segment shipped, entry committed). The
+    /// stall watchdog fires when this stops moving while `inflight > 0`.
+    progress: AtomicU64,
+    /// RPCs currently being served on this node.
+    inflight: AtomicI64,
+    /// Armed watchdog threshold in ms (0 = no watchdog), for introspection.
+    watchdog_ms: AtomicU32,
 }
 
 impl NodeObs {
@@ -52,6 +66,11 @@ impl NodeObs {
         let stages = std::array::from_fn(|i| {
             registry.histogram("kera.trace.stage", &[("stage", Stage::ALL[i].name())])
         });
+        if enabled {
+            // Lock wait-time accounting is process-global in the
+            // parking_lot shim; the first enabled node arms it.
+            parking_lot::set_contention_timing(true);
+        }
         Arc::new(NodeObs {
             node,
             enabled,
@@ -59,6 +78,10 @@ impl NodeObs {
             recorder: FlightRecorder::new(node, flightrec::DEFAULT_CAPACITY),
             stages,
             next_id: AtomicU64::new(1),
+            slow: SlowTraceStore::new(slowtrace::capacity_from_env()),
+            progress: AtomicU64::new(0),
+            inflight: AtomicI64::new(0),
+            watchdog_ms: AtomicU32::new(0),
         })
     }
 
@@ -87,6 +110,57 @@ impl NodeObs {
     /// Latency histogram of one pipeline stage.
     pub fn stage_histogram(&self, stage: Stage) -> &Arc<LatencyHistogram> {
         &self.stages[stage as usize - 1]
+    }
+
+    /// The node's tail-sampled slow/errored span store.
+    pub fn slow_traces(&self) -> &SlowTraceStore {
+        &self.slow
+    }
+
+    /// Signals forward progress (work item completed). One relaxed add
+    /// when observability is on, one branch when off.
+    #[inline]
+    pub fn bump_progress(&self) {
+        if self.enabled {
+            self.progress.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current progress heartbeat value.
+    pub fn progress_counter(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// Marks one RPC as being served (paired with [`inflight_exit`]).
+    ///
+    /// [`inflight_exit`]: NodeObs::inflight_exit
+    #[inline]
+    pub fn inflight_enter(&self) {
+        if self.enabled {
+            self.inflight.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn inflight_exit(&self) {
+        if self.enabled {
+            self.inflight.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// RPCs currently being served (clamped to ≥ 0).
+    pub fn inflight(&self) -> u32 {
+        self.inflight.load(Ordering::Relaxed).max(0) as u32
+    }
+
+    /// Records the armed watchdog threshold so introspection can report
+    /// it (0 = no watchdog on this node).
+    pub fn set_watchdog_ms(&self, ms: u32) {
+        self.watchdog_ms.store(ms, Ordering::Relaxed);
+    }
+
+    pub fn watchdog_ms(&self) -> u32 {
+        self.watchdog_ms.load(Ordering::Relaxed)
     }
 
     #[inline]
@@ -135,6 +209,7 @@ impl NodeObs {
             opcode: 0,
             aux: 0,
             start_ns: flightrec::now_ns(),
+            error: false,
         }
     }
 
@@ -169,6 +244,7 @@ pub struct Span {
     opcode: u8,
     aux: u64,
     start_ns: u64,
+    error: bool,
 }
 
 impl Span {
@@ -183,6 +259,7 @@ impl Span {
             opcode: 0,
             aux: 0,
             start_ns: 0,
+            error: false,
         }
     }
 
@@ -208,6 +285,13 @@ impl Span {
         self.aux = aux;
     }
 
+    /// Marks the span as errored: it is force-sampled into the node's
+    /// slow-trace store regardless of duration.
+    #[inline]
+    pub fn set_error(&mut self) {
+        self.error = true;
+    }
+
     /// Explicit end (drop does the same).
     pub fn finish(self) {}
 }
@@ -217,7 +301,7 @@ impl Drop for Span {
         let Some(obs) = self.obs.take() else { return };
         let dur_ns = flightrec::now_ns().saturating_sub(self.start_ns);
         obs.stages[self.stage as usize - 1].record_ns(dur_ns);
-        obs.recorder.record(&EventRecord {
+        let record = EventRecord {
             time_ns: self.start_ns,
             dur_ns,
             trace_id: self.trace_id,
@@ -227,8 +311,34 @@ impl Drop for Span {
             stage: self.stage as u8,
             opcode: self.opcode,
             aux: self.aux,
-        });
+        };
+        obs.recorder.record(&record);
+        obs.slow.offer(&record, self.error);
     }
+}
+
+/// Process-wide lock contention as a snapshot: per-class wait-time
+/// histograms (`kera.lock.wait{class=...}`, shim buckets share the
+/// `LatencyHistogram` convention) plus contended-acquisition counters
+/// (`kera.lock.contended{class=...}`). The underlying table is global to
+/// the process, not per node — merge this once per scrape, not once per
+/// node, or classes double-count.
+pub fn lock_contention_snapshot() -> RegistrySnapshot {
+    let mut snap = RegistrySnapshot::default();
+    for c in parking_lot::contention_snapshot() {
+        let labels = [("class", c.class)];
+        snap.counters.insert(MetricKey::new("kera.lock.contended", &labels), c.contended);
+        snap.histograms.insert(
+            MetricKey::new("kera.lock.wait", &labels),
+            HistogramSnapshot {
+                buckets: c.buckets,
+                count: c.contended,
+                sum_ns: c.wait_sum_ns,
+                max_ns: c.wait_max_ns,
+            },
+        );
+    }
+    snap
 }
 
 #[cfg(test)]

@@ -1,0 +1,107 @@
+//! Golden-output conformance test for the Prometheus text exposition
+//! format (`RegistrySnapshot::to_prometheus`).
+//!
+//! The exact bytes matter: a scraper parses this format, so `# TYPE`
+//! placement, label escaping and cumulative bucket arithmetic are wire
+//! contracts, not cosmetics. The golden string below is the contract;
+//! update it deliberately, not to silence a diff.
+
+use kera_common::metrics::HistogramSnapshot;
+use kera_obs::{MetricKey, MetricsRegistry, RegistrySnapshot};
+
+#[test]
+fn prometheus_export_matches_golden_output() {
+    let mut snap = RegistrySnapshot::default();
+    snap.counters
+        .insert(MetricKey::new("kera.rpc.calls", &[("node", "1"), ("op", "append")]), 7);
+    snap.counters
+        .insert(MetricKey::new("kera.rpc.calls", &[("node", "2"), ("op", "fetch")]), 3);
+    // Label values with every escape case: quote, backslash, newline.
+    snap.counters
+        .insert(MetricKey::new("kera.weird-name.total", &[("msg", "say \"hi\"\\\n")]), 1);
+    snap.gauges.insert(MetricKey::new("kera.pool.outstanding", &[("node", "1")]), -2);
+    let mut h = HistogramSnapshot::empty();
+    h.buckets[0] = 1; // 1ns      -> le="1"
+    h.buckets[6] = 2; // 64..127  -> le="127"
+    h.buckets[12] = 1; // ..8191  -> le="8191"
+    h.count = 4;
+    h.sum_ns = 5221;
+    h.max_ns = 5000;
+    snap.histograms
+        .insert(MetricKey::new("kera.trace.stage", &[("node", "1"), ("stage", "append")]), h);
+
+    let golden = concat!(
+        "# TYPE kera_rpc_calls counter\n",
+        "kera_rpc_calls{node=\"1\",op=\"append\"} 7\n",
+        "kera_rpc_calls{node=\"2\",op=\"fetch\"} 3\n",
+        "# TYPE kera_weird_name_total counter\n",
+        "kera_weird_name_total{msg=\"say \\\"hi\\\"\\\\\\n\"} 1\n",
+        "# TYPE kera_pool_outstanding gauge\n",
+        "kera_pool_outstanding{node=\"1\"} -2\n",
+        "# TYPE kera_trace_stage histogram\n",
+        "kera_trace_stage_bucket{node=\"1\",stage=\"append\",le=\"1\"} 1\n",
+        "kera_trace_stage_bucket{node=\"1\",stage=\"append\",le=\"127\"} 3\n",
+        "kera_trace_stage_bucket{node=\"1\",stage=\"append\",le=\"8191\"} 4\n",
+        "kera_trace_stage_bucket{node=\"1\",stage=\"append\",le=\"+Inf\"} 4\n",
+        "kera_trace_stage_sum{node=\"1\",stage=\"append\"} 5221\n",
+        "kera_trace_stage_count{node=\"1\",stage=\"append\"} 4\n",
+    );
+    let text = snap.to_prometheus();
+    assert_eq!(text, golden, "prometheus exposition drifted from the golden contract");
+}
+
+#[test]
+fn type_line_emitted_once_per_metric_family() {
+    let mut snap = RegistrySnapshot::default();
+    for node in ["1", "2", "3"] {
+        snap.counters.insert(MetricKey::new("kera.rpc.calls", &[("node", node)]), 1);
+    }
+    let text = snap.to_prometheus();
+    assert_eq!(
+        text.matches("# TYPE kera_rpc_calls counter").count(),
+        1,
+        "one TYPE line per family, not per series: {text}"
+    );
+}
+
+/// Cumulative bucket lines must be non-decreasing and end exactly at the
+/// `+Inf` bucket, which must equal `_count` — checked on a real
+/// registry-built histogram including the top (le = u64::MAX) bucket.
+#[test]
+fn histogram_buckets_are_cumulative_and_monotone() {
+    let reg = MetricsRegistry::with_base_labels(&[("cluster", "gold\"en")]);
+    let h = reg.histogram("kera.trace.stage", &[("stage", "flush")]);
+    for ns in [1u64, 3, 100, 100, 5_000, 1 << 40, u64::MAX] {
+        h.record_ns(ns);
+    }
+    let text = reg.snapshot().to_prometheus();
+
+    let mut cumulative = Vec::new();
+    let mut inf = None;
+    let mut count = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("kera_trace_stage_bucket{") {
+            let value: u64 = rest.rsplit(' ').next().unwrap().parse().unwrap();
+            if rest.contains("le=\"+Inf\"") {
+                inf = Some(value);
+            } else {
+                cumulative.push(value);
+            }
+        } else if line.starts_with("kera_trace_stage_count{") {
+            count = Some(line.rsplit(' ').next().unwrap().parse::<u64>().unwrap());
+        }
+    }
+    assert!(!cumulative.is_empty(), "no bucket lines in: {text}");
+    assert!(
+        cumulative.windows(2).all(|w| w[0] <= w[1]),
+        "buckets not monotone: {cumulative:?}"
+    );
+    assert_eq!(inf, Some(7), "+Inf bucket must equal total count");
+    assert_eq!(count, Some(7));
+    assert_eq!(*cumulative.last().unwrap(), 7, "top finite bucket covers u64::MAX waits");
+    // The u64::MAX record lands in the final bucket, rendered with the
+    // saturated upper bound rather than an overflowing (2<<63)-1.
+    assert!(text.contains("le=\"18446744073709551615\""), "{text}");
+    // Base labels escape like any other label value.
+    assert!(text.contains("cluster=\"gold\\\"en\""));
+}

@@ -252,11 +252,12 @@ impl Transport for FaultInjector {
             return Ok(());
         }
         if self.roll(profile.delay_rate) {
+            let delay_micros = profile.max_delay.as_micros().min(u128::from(u64::MAX)) as u64;
+            let held = Duration::from_micros(self.rng.lock().next_below(delay_micros.max(1)));
+            let due = Instant::now() + held;
             if let Some(tx) = self.delay_tx.lock().as_ref() {
-                let delay_micros = profile.max_delay.as_micros().min(u128::from(u64::MAX)) as u64;
-                let held = Duration::from_micros(self.rng.lock().next_below(delay_micros.max(1)));
                 let item = Held {
-                    due: Instant::now() + held,
+                    due,
                     seq: self.seq.fetch_add(1, Ordering::Relaxed),
                     to,
                     env,

@@ -429,6 +429,7 @@ fn worker_loop(inner: Arc<NodeInner>, service: Arc<dyn Service>, work_rx: Receiv
             deadline: item.expires,
             trace: span.context(),
         };
+        inner.obs.inflight_enter();
         let reply = {
             let _in_trace = kera_obs::enter(ctx.trace);
             match service.handle(&ctx, env.payload) {
@@ -439,9 +440,15 @@ fn worker_loop(inner: Arc<NodeInner>, service: Arc<dyn Service>, work_rx: Receiv
                     kera_wire::frames::StatusCode::Ok,
                     payload,
                 ),
-                Err(e) => Envelope::error_response(ctx.opcode, ctx.request_id, inner.id, &e),
+                Err(e) => {
+                    // Errored serves are force-sampled into the
+                    // slow-trace store regardless of duration.
+                    span.set_error();
+                    Envelope::error_response(ctx.opcode, ctx.request_id, inner.id, &e)
+                }
             }
         };
+        inner.obs.inflight_exit();
         span.set_aux(reply.payload.len() as u64);
         span.finish();
         inner.dedup.complete(key, reply.clone());

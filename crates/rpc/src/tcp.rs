@@ -117,6 +117,19 @@ impl TcpNetwork {
     pub fn addr_of(&self, id: NodeId) -> Option<SocketAddr> {
         self.dir.addrs.read().get(&id).copied()
     }
+
+    /// Seeds the directory with the address of a node listening in
+    /// another process (the cross-process half of [`TcpNetwork::addr_of`]).
+    /// Locally registered nodes keep their entries: seeding an id that is
+    /// already present is rejected rather than silently redirected.
+    pub fn add_peer(&self, id: NodeId, addr: SocketAddr) -> Result<()> {
+        let mut addrs = self.dir.addrs.write();
+        if addrs.contains_key(&id) {
+            return Err(KeraError::InvalidConfig(format!("node {id} already registered")));
+        }
+        addrs.insert(id, addr);
+        Ok(())
+    }
 }
 
 fn accept_loop(
@@ -483,6 +496,28 @@ mod tests {
             assert_eq!(env.payload.len(), 256);
         }
         assert_eq!(a.conns.lock().len(), 1, "exactly one connection per peer");
+    }
+
+    #[test]
+    fn add_peer_seeds_cross_network_dialing() {
+        // Two directories standing in for two processes: the server
+        // registers on net_a; net_b only learns of it via add_peer.
+        let net_a = TcpNetwork::new();
+        let server = net_a.register(NodeId(7)).unwrap();
+        let addr = net_a.addr_of(NodeId(7)).unwrap();
+
+        let net_b = TcpNetwork::new();
+        net_b.add_peer(NodeId(7), addr).unwrap();
+        let client = net_b.register(NodeId(2001)).unwrap();
+        client
+            .send(NodeId(7), Envelope::request(OpCode::Ping, 9, NodeId(2001), Bytes::from_static(b"x")))
+            .unwrap();
+        let got = server.recv(Duration::from_secs(2)).unwrap().unwrap();
+        assert_eq!(got.request_id, 9);
+
+        // A locally registered id cannot be redirected by a seed.
+        let err = net_a.add_peer(NodeId(7), addr).unwrap_err();
+        assert!(matches!(err, KeraError::InvalidConfig(_)));
     }
 
     #[test]

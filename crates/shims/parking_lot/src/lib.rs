@@ -18,15 +18,27 @@
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::AtomicU32;
 use std::time::Duration;
 
+mod contention;
 #[cfg(feature = "deadlock-detect")]
 mod lockdep;
+
+pub use contention::{
+    contention_snapshot, contention_timing_enabled, set_contention_timing, LockContention,
+};
 
 /// A mutual-exclusion lock without poisoning.
 pub struct Mutex<T: ?Sized> {
     #[cfg(feature = "deadlock-detect")]
     dep: lockdep::LockDep,
+    /// Lock-class name from [`Mutex::named`]; contention timing and
+    /// lockdep both key off it. `None` for anonymous locks (untimed).
+    name: Option<&'static str>,
+    /// Cached contention-table slot for `name` (lazy; see
+    /// [`contention`]).
+    slot: AtomicU32,
     inner: std::sync::Mutex<T>,
 }
 
@@ -41,20 +53,24 @@ impl<T> Mutex<T> {
         Mutex {
             #[cfg(feature = "deadlock-detect")]
             dep: lockdep::LockDep::new(None),
+            name: None,
+            slot: AtomicU32::new(contention::UNRESOLVED),
             inner: std::sync::Mutex::new(value),
         }
     }
 
-    /// Like [`Mutex::new`], but tags the lock with a lock-class name
-    /// for `deadlock-detect` builds. Use the class names declared in
-    /// `lint/lock-order.toml` so the dynamic checker can enforce the
-    /// declared hierarchy; without the feature the name is discarded.
+    /// Like [`Mutex::new`], but tags the lock with a lock-class name.
+    /// Use the class names declared in `lint/lock-order.toml`: the
+    /// dynamic lock-order checker (`deadlock-detect` builds) enforces
+    /// the declared hierarchy by it, and contention timing (when armed
+    /// via [`set_contention_timing`]) accounts blocked-wait time per
+    /// class under it.
     pub const fn named(name: &'static str, value: T) -> Mutex<T> {
-        #[cfg(not(feature = "deadlock-detect"))]
-        let _ = name;
         Mutex {
             #[cfg(feature = "deadlock-detect")]
             dep: lockdep::LockDep::new(Some(name)),
+            name: Some(name),
+            slot: AtomicU32::new(contention::UNRESOLVED),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -68,12 +84,35 @@ impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         #[cfg(feature = "deadlock-detect")]
         let dep = self.dep.acquire(false);
-        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = self.lock_timed();
         MutexGuard {
             #[cfg(feature = "deadlock-detect")]
             dep,
             inner: Some(guard),
         }
+    }
+
+    /// The blocking acquire, with contention timing when armed: a
+    /// non-blocking try first (the uncontended path never reads the
+    /// clock), the wall clock only once the lock is known held.
+    fn lock_timed(&self) -> std::sync::MutexGuard<'_, T> {
+        if let Some(name) = self.name {
+            if contention::contention_timing_enabled() {
+                match self.inner.try_lock() {
+                    Ok(g) => return g,
+                    Err(std::sync::TryLockError::Poisoned(e)) => return e.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        let timer = contention::WaitTimer::start(name, &self.slot);
+                        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                        if let Some(t) = timer {
+                            t.finish();
+                        }
+                        return g;
+                    }
+                }
+            }
+        }
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Attempts the lock without blocking; `None` if it is already held
@@ -137,6 +176,10 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 pub struct RwLock<T: ?Sized> {
     #[cfg(feature = "deadlock-detect")]
     dep: lockdep::LockDep,
+    /// Lock-class name from [`RwLock::named`] (see [`Mutex::named`]).
+    name: Option<&'static str>,
+    /// Cached contention-table slot for `name`.
+    slot: AtomicU32,
     inner: std::sync::RwLock<T>,
 }
 
@@ -151,18 +194,20 @@ impl<T> RwLock<T> {
         RwLock {
             #[cfg(feature = "deadlock-detect")]
             dep: lockdep::LockDep::new(None),
+            name: None,
+            slot: AtomicU32::new(contention::UNRESOLVED),
             inner: std::sync::RwLock::new(value),
         }
     }
 
     /// Like [`RwLock::new`], but tags the lock with a lock-class name
-    /// for `deadlock-detect` builds (see [`Mutex::named`]).
+    /// (see [`Mutex::named`]).
     pub const fn named(name: &'static str, value: T) -> RwLock<T> {
-        #[cfg(not(feature = "deadlock-detect"))]
-        let _ = name;
         RwLock {
             #[cfg(feature = "deadlock-detect")]
             dep: lockdep::LockDep::new(Some(name)),
+            name: Some(name),
+            slot: AtomicU32::new(contention::UNRESOLVED),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -176,7 +221,7 @@ impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         #[cfg(feature = "deadlock-detect")]
         let dep = self.dep.acquire(true);
-        let guard = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        let guard = self.read_timed();
         RwLockReadGuard {
             #[cfg(feature = "deadlock-detect")]
             dep,
@@ -184,15 +229,55 @@ impl<T: ?Sized> RwLock<T> {
         }
     }
 
+    fn read_timed(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        if let Some(name) = self.name {
+            if contention::contention_timing_enabled() {
+                match self.inner.try_read() {
+                    Ok(g) => return g,
+                    Err(std::sync::TryLockError::Poisoned(e)) => return e.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        let timer = contention::WaitTimer::start(name, &self.slot);
+                        let g = self.inner.read().unwrap_or_else(|e| e.into_inner());
+                        if let Some(t) = timer {
+                            t.finish();
+                        }
+                        return g;
+                    }
+                }
+            }
+        }
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         #[cfg(feature = "deadlock-detect")]
         let dep = self.dep.acquire(false);
-        let guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let guard = self.write_timed();
         RwLockWriteGuard {
             #[cfg(feature = "deadlock-detect")]
             dep,
             inner: guard,
         }
+    }
+
+    fn write_timed(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        if let Some(name) = self.name {
+            if contention::contention_timing_enabled() {
+                match self.inner.try_write() {
+                    Ok(g) => return g,
+                    Err(std::sync::TryLockError::Poisoned(e)) => return e.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        let timer = contention::WaitTimer::start(name, &self.slot);
+                        let g = self.inner.write().unwrap_or_else(|e| e.into_inner());
+                        if let Some(t) = timer {
+                            t.finish();
+                        }
+                        return g;
+                    }
+                }
+            }
+        }
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
     }
 
     pub fn get_mut(&mut self) -> &mut T {

@@ -375,6 +375,8 @@ impl VirtualLog {
             if st.error_epoch != epoch {
                 return Err(KeraError::Timeout { op: "replication (transient failure)" });
             }
+            // lint: allow(no-time-under-lock) — condvar timed wait must re-read
+            // the clock after every wakeup while still holding the state lock
             let now = std::time::Instant::now();
             if now >= deadline {
                 return Err(KeraError::Timeout { op: "replication wait" });

@@ -30,6 +30,7 @@
 //! without touching record bytes, so the payload checksum stays valid all
 //! the way from the producer to the backups and the disk.
 
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
@@ -155,6 +156,25 @@ pub struct BufferPool {
     bufs: Mutex<Vec<BytesMut>>,
     capacity: usize,
     max_pooled: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    outstanding: AtomicI64,
+}
+
+/// Point-in-time [`BufferPool`] accounting, scraped by the
+/// introspection plane. `wire` doesn't depend on `kera-obs`, so these
+/// are plain atomics the pool's owner exports into its registry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires served from the free list.
+    pub hits: u64,
+    /// Acquires that fell through to a fresh allocation.
+    pub misses: u64,
+    /// Buffers acquired and not yet released back (may briefly read
+    /// negative under concurrent acquire/release races; clamped to 0).
+    pub outstanding: i64,
+    /// Free buffers currently pooled.
+    pub pooled: usize,
 }
 
 impl BufferPool {
@@ -166,7 +186,20 @@ impl BufferPool {
             bufs: Mutex::named("wire.pool", Vec::new()),
             capacity,
             max_pooled,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            outstanding: AtomicI64::new(0),
         })
+    }
+
+    /// Hit/miss/outstanding accounting since the pool was created.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            outstanding: self.outstanding.load(Ordering::Relaxed).max(0),
+            pooled: self.pooled(),
+        }
     }
 
     /// The chunk capacity buffers from this pool are sized for.
@@ -183,10 +216,13 @@ impl BufferPool {
     /// A cleared buffer with at least `chunk_capacity` bytes of room —
     /// recycled if available, freshly allocated otherwise.
     pub fn acquire(&self) -> BytesMut {
+        self.outstanding.fetch_add(1, Ordering::Relaxed);
         if let Some(mut b) = self.bufs.lock().pop() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             b.clear();
             return b;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         BytesMut::with_capacity(self.capacity)
     }
 
@@ -195,6 +231,7 @@ impl BufferPool {
     /// otherwise the handle is dropped and the allocation stays with the
     /// remaining references.
     pub fn release(&self, sealed: Bytes) -> bool {
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
         let Ok(mut buf) = sealed.try_into_mut() else { return false };
         if buf.capacity() < self.capacity {
             return false; // undersized stray; not worth pooling
@@ -716,6 +753,25 @@ mod tests {
         assert_eq!(pool.pooled(), 1);
         // Undersized buffers are not pooled.
         assert!(!pool.release(Bytes::from(vec![0u8; 8])));
+    }
+
+    #[test]
+    fn pool_stats_track_hits_misses_outstanding() {
+        let pool = BufferPool::new(256, 4);
+        let a = pool.acquire(); // empty pool -> miss
+        let b = pool.acquire(); // miss
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.outstanding), (0, 2, 2));
+
+        assert!(pool.release(a.freeze()));
+        let s = pool.stats();
+        assert_eq!((s.outstanding, s.pooled), (1, 1));
+
+        let c = pool.acquire(); // served from the free list -> hit
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.outstanding, s.pooled), (1, 2, 2, 0));
+        drop(b);
+        drop(c);
     }
 
     #[test]

@@ -60,6 +60,10 @@ pub enum OpCode {
     /// balance, in-flight bytes, queue high-water mark) — tooling and
     /// chaos drills, not the data path.
     QuotaState = 19,
+    /// Any node: introspection scrape — health summary, metrics
+    /// snapshot and sampled slow traces (`kera-inspect`, not the data
+    /// path).
+    Introspect = 20,
 }
 
 impl OpCode {
@@ -86,6 +90,7 @@ impl OpCode {
             17 => MetaAppend,
             18 => GetLeader,
             19 => QuotaState,
+            20 => Introspect,
             _ => return Err(KeraError::Protocol(format!("unknown opcode {v}"))),
         })
     }
@@ -413,7 +418,7 @@ mod tests {
 
     #[test]
     fn opcode_roundtrip() {
-        for v in 0..=19u8 {
+        for v in 0..=20u8 {
             let op = OpCode::from_u8(v).unwrap();
             assert_eq!(op as u8, v);
         }

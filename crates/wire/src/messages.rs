@@ -1025,6 +1025,177 @@ impl QuotaStateResponse {
     }
 }
 
+/// Section bitmask for [`IntrospectRequest::sections`]. Health is cheap
+/// (a handful of atomics); metrics and traces serialize JSON bodies, so
+/// scrapers that only want liveness can skip them.
+pub mod introspect_sections {
+    pub const HEALTH: u32 = 1 << 0;
+    pub const METRICS: u32 = 1 << 1;
+    pub const TRACES: u32 = 1 << 2;
+    pub const ALL: u32 = HEALTH | METRICS | TRACES;
+}
+
+/// The role a node reports in [`IntrospectResponse::role`].
+pub mod introspect_role {
+    pub const BROKER: u8 = 0;
+    pub const BACKUP: u8 = 1;
+    pub const COORDINATOR: u8 = 2;
+
+    pub fn name(role: u8) -> &'static str {
+        match role {
+            BROKER => "broker",
+            BACKUP => "backup",
+            COORDINATOR => "coordinator",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Any node → any node: introspection scrape (`kera-inspect`, CI
+/// smokes, the future multi-process scrape plane). Not the data path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntrospectRequest {
+    /// Bitmask of [`introspect_sections`] to include in the response.
+    pub sections: u32,
+}
+
+impl IntrospectRequest {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.u32(self.sections);
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        Ok(Self { sections: Reader::new(buf).u32()? })
+    }
+}
+
+/// One node's introspection report: a fixed health summary plus
+/// optional JSON bodies (registry snapshot, sampled slow-trace trees).
+/// Fields that don't apply to a role are zero — a backup has no term, a
+/// coordinator has no vlogs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntrospectResponse {
+    /// Raw node id of the reporter.
+    pub node: u32,
+    /// [`introspect_role`] of the reporter.
+    pub role: u8,
+    /// Coordinator replicas only: currently the elected leader.
+    pub is_leader: bool,
+    /// Coordinator replicas: current term. Brokers/backups: 0.
+    pub term: u64,
+    /// Broker: live virtual logs. Others: 0.
+    pub vlogs: u32,
+    /// Backup: replicated virtual segments held. Others: 0.
+    pub segments: u32,
+    /// Broker: bytes appended across vlogs (replication input).
+    pub appended_bytes: u64,
+    /// Broker: bytes acknowledged durable by backups. The replication
+    /// lag is `appended_bytes - durable_bytes`.
+    pub durable_bytes: u64,
+    /// Broker: bytes appended but not yet fetched past by any consumer
+    /// on tracked slots (committed-offset lag).
+    pub consumer_lag_bytes: u64,
+    /// Broker: admission control armed.
+    pub quota_enabled: bool,
+    /// Broker: admitted-but-unacknowledged bytes right now.
+    pub quota_queue_bytes: u64,
+    /// Broker: high-water mark of the admission queue.
+    pub quota_queue_hwm_bytes: u64,
+    /// Broker: total throttle responses issued.
+    pub quota_throttles: u64,
+    /// Broker: total rejections issued.
+    pub quota_rejections: u64,
+    /// RPC requests currently executing in this node's worker pool.
+    pub inflight: u32,
+    /// Monotonic progress heartbeat (appends/replications/commits); the
+    /// stall watchdog fires when this stops advancing with work in
+    /// flight.
+    pub progress: u64,
+    /// Watchdog period armed on this node, ms (0 = disarmed).
+    pub watchdog_ms: u32,
+    /// METRICS section: `RegistrySnapshot::to_json` body, else empty.
+    pub metrics_json: String,
+    /// TRACES section: sampled slow-trace trees as JSON, else empty.
+    pub traces_json: String,
+}
+
+impl IntrospectResponse {
+    pub fn encode(&self) -> Result<Bytes> {
+        let mut w = Writer::new();
+        w.u32(self.node)
+            .u8(self.role)
+            .u8(self.is_leader as u8)
+            .u8(self.quota_enabled as u8)
+            .u64(self.term)
+            .u32(self.vlogs)
+            .u32(self.segments)
+            .u64(self.appended_bytes)
+            .u64(self.durable_bytes)
+            .u64(self.consumer_lag_bytes)
+            .u64(self.quota_queue_bytes)
+            .u64(self.quota_queue_hwm_bytes)
+            .u64(self.quota_throttles)
+            .u64(self.quota_rejections)
+            .u32(self.inflight)
+            .u64(self.progress)
+            .u32(self.watchdog_ms);
+        w.string(&self.metrics_json)?;
+        w.string(&self.traces_json)?;
+        Ok(w.finish())
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf);
+        let node = r.u32()?;
+        let role = r.u8()?;
+        if role > introspect_role::COORDINATOR {
+            return Err(KeraError::Protocol(format!("bad role {role} in introspect")));
+        }
+        let is_leader = match r.u8()? {
+            0 => false,
+            1 => true,
+            v => return Err(KeraError::Protocol(format!("bad bool {v} in introspect"))),
+        };
+        let quota_enabled = match r.u8()? {
+            0 => false,
+            1 => true,
+            v => return Err(KeraError::Protocol(format!("bad bool {v} in introspect"))),
+        };
+        Ok(Self {
+            node,
+            role,
+            is_leader,
+            quota_enabled,
+            term: r.u64()?,
+            vlogs: r.u32()?,
+            segments: r.u32()?,
+            appended_bytes: r.u64()?,
+            durable_bytes: r.u64()?,
+            consumer_lag_bytes: r.u64()?,
+            quota_queue_bytes: r.u64()?,
+            quota_queue_hwm_bytes: r.u64()?,
+            quota_throttles: r.u64()?,
+            quota_rejections: r.u64()?,
+            inflight: r.u32()?,
+            progress: r.u64()?,
+            watchdog_ms: r.u32()?,
+            metrics_json: r.string()?,
+            traces_json: r.string()?,
+        })
+    }
+
+    /// Replication lag in bytes (appended but not yet durable).
+    pub fn replication_lag_bytes(&self) -> u64 {
+        self.appended_bytes.saturating_sub(self.durable_bytes)
+    }
+
+    pub fn role_name(&self) -> &'static str {
+        introspect_role::name(self.role)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1381,6 +1552,54 @@ mod tests {
         let mut bad = buf.to_vec();
         bad[0] = 7;
         assert!(QuotaStateResponse::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn introspect_roundtrip() {
+        let req = IntrospectRequest { sections: introspect_sections::ALL };
+        assert_eq!(IntrospectRequest::decode(&req.encode()).unwrap(), req);
+        let req = IntrospectRequest { sections: introspect_sections::HEALTH };
+        assert_eq!(IntrospectRequest::decode(&req.encode()).unwrap(), req);
+
+        let resp = IntrospectResponse {
+            node: 3001,
+            role: introspect_role::COORDINATOR,
+            is_leader: true,
+            term: 4,
+            vlogs: 0,
+            segments: 0,
+            appended_bytes: 1 << 20,
+            durable_bytes: (1 << 20) - 4096,
+            consumer_lag_bytes: 512,
+            quota_enabled: true,
+            quota_queue_bytes: 100,
+            quota_queue_hwm_bytes: 2048,
+            quota_throttles: 7,
+            quota_rejections: 1,
+            inflight: 3,
+            progress: 99,
+            watchdog_ms: 250,
+            metrics_json: "{\"counters\":{}}".into(),
+            traces_json: "[]".into(),
+        };
+        let buf = resp.encode().unwrap();
+        let back = IntrospectResponse::decode(&buf).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.replication_lag_bytes(), 4096);
+        assert_eq!(back.role_name(), "coordinator");
+
+        // Truncation anywhere errors cleanly.
+        for cut in 0..buf.len() {
+            assert!(IntrospectResponse::decode(&buf[..cut]).is_err(), "cut at {cut} decoded");
+        }
+        // Non-boolean bool byte and out-of-range role are protocol
+        // errors, not panics.
+        let mut bad = buf.to_vec();
+        bad[5] = 9; // is_leader
+        assert!(IntrospectResponse::decode(&bad).is_err());
+        let mut bad = buf.to_vec();
+        bad[4] = 3; // role
+        assert!(IntrospectResponse::decode(&bad).is_err());
     }
 
     #[test]

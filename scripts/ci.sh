@@ -13,11 +13,11 @@ cargo run -q -p kera-lint
 # Dynamic lock-order checking: the shim's own lockdep suite, then the
 # chaos + invariants suites with every lock acquisition instrumented.
 # The chaos run arms the flight recorder: a panic or chaos failure dumps
-# each node's recent-event ring to results/flightrec-<node>.json.
+# each node's recent-event ring under results/tmp/flightrec/<run>/.
 (cd crates/shims/parking_lot && cargo test -q --features deadlock-detect)
 if ! KERA_FLIGHTREC=1 cargo test -q --features deadlock-detect --test chaos --test invariants; then
   echo "chaos/invariants failed — flight recorder dumps:" >&2
-  ls results/flightrec-*.json >&2 2>/dev/null || echo "  (none recorded)" >&2
+  ls results/tmp/flightrec/*/flightrec-*.json >&2 2>/dev/null || echo "  (none recorded)" >&2
   exit 1
 fi
 
@@ -31,7 +31,7 @@ if ! KERA_FLIGHTREC=1 cargo test -q --test chaos -- --exact \
     coordinator_frozen_leader_is_deposed_and_steps_down_on_thaw \
     coordinator_partitioned_leader_abdicates_and_rejoins; then
   echo "coordinator failover drills failed — flight recorder dumps:" >&2
-  ls results/flightrec-*.json >&2 2>/dev/null || echo "  (none recorded)" >&2
+  ls results/tmp/flightrec/*/flightrec-*.json >&2 2>/dev/null || echo "  (none recorded)" >&2
   exit 1
 fi
 
@@ -48,9 +48,17 @@ if ! KERA_FLIGHTREC=1 cargo test -q --test chaos -- --exact \
     slow_consumer_pileup_keeps_broker_bounded \
     quota_flapping_mid_ingest_preserves_exactly_once; then
   echo "overload drills failed — flight recorder dumps:" >&2
-  ls results/flightrec-*.json >&2 2>/dev/null || echo "  (none recorded)" >&2
+  ls results/tmp/flightrec/*/flightrec-*.json >&2 2>/dev/null || echo "  (none recorded)" >&2
   exit 1
 fi
+
+# Introspection plane smoke (DESIGN.md §13): boot a real 3-broker /
+# 3-replica cluster on loopback TCP, scrape every node over the wire
+# with the Introspect opcode, and require each one to report health
+# (role, term, lag, quota ladder, in-flight). Non-zero exit if any node
+# is unreachable — the watchdog chaos drill above already covers the
+# stall-dump path.
+cargo run -q --release -p kera-inspect -- health --brokers 3 --replicas 3
 
 # Observability overhead smoke check: a quick fig08-style point with
 # tracing on must stay within the budget (default 5%) of the same point

@@ -1025,3 +1025,119 @@ fn quota_flapping_mid_ingest_preserves_exactly_once() {
     consumer.close();
     cluster.shutdown();
 }
+
+/// The stall drill (DESIGN.md §13): freeze a broker's data plane
+/// mid-ingest with the watchdogs armed. The produce in flight hangs, the
+/// progress heartbeat stops, and within the threshold the broker's
+/// watchdog must auto-dump its flight-recorder ring plus at least one
+/// sampled slow span tree — the post-mortem an operator would otherwise
+/// have to race the stall to collect. Fetches and Introspect stay live
+/// on the frozen node throughout.
+#[test]
+fn frozen_broker_mid_ingest_triggers_watchdog_dump() {
+    use kera::wire::chunk::ChunkBuilder;
+    use kera::wire::record::Record;
+
+    let _serial = serial();
+    let mut cluster = KeraCluster::start(ClusterConfig {
+        brokers: 2,
+        worker_threads: 4,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    cluster.arm_watchdogs(Duration::from_millis(150));
+
+    let client_rt = cluster.client(0);
+    let client = client_rt.client();
+    let md_bytes = client
+        .call(
+            cluster.coordinator(),
+            OpCode::CreateStream,
+            kera::wire::messages::CreateStreamRequest { config: stream_config_for(77, 1) }
+                .encode(),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+    let md = kera::wire::messages::StreamMetadata::decode(&md_bytes).unwrap();
+    let broker = md.broker_of(StreamletId(0)).unwrap();
+
+    let make_chunk = || {
+        let mut b = ChunkBuilder::new(8192, ProducerId(9), StreamId(77), StreamletId(0));
+        for i in 0..20u32 {
+            b.append(&Record::value_only(&payload(u64::from(i))));
+        }
+        b.seal()
+    };
+    let produce_req = |chunk: bytes::Bytes| ProduceRequest {
+        producer: ProducerId(9),
+        recovery: false,
+        chunk_count: 1,
+        chunks: chunk,
+    };
+
+    // Real ingest first: spans land in the ring and the slow store, and
+    // the progress heartbeat advances.
+    for _ in 0..3 {
+        client
+            .call(broker, OpCode::Produce, produce_req(make_chunk()).encode(), Duration::from_secs(5))
+            .unwrap();
+    }
+
+    // Freeze the data plane, then send the produce that stalls in it.
+    let frozen_ix = broker.raw() - 1;
+    cluster.freeze_broker(frozen_ix);
+    let hung = {
+        let client = client_rt.client();
+        let req = produce_req(make_chunk()).encode();
+        std::thread::spawn(move || {
+            client.call(broker, OpCode::Produce, req, Duration::from_secs(10))
+        })
+    };
+
+    // The broker's watchdog must notice: work in flight, heartbeat flat.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let dump = loop {
+        if let Some(path) = cluster.watchdogs().iter().find_map(|w| {
+            (w.fired() > 0).then(|| w.last_dump()).flatten()
+        }) {
+            break path;
+        }
+        assert!(Instant::now() < deadline, "watchdog never fired on the frozen broker");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let body = std::fs::read_to_string(&dump).unwrap();
+    assert!(
+        body.contains(&format!("\"node\":{}", broker.raw())),
+        "dump is not the frozen broker's: {dump:?}"
+    );
+    assert!(body.contains("\"ring\":{"), "flight-recorder ring missing from dump");
+    assert!(
+        body.contains("\"slow_traces\":[{") && body.contains("\"tree\":["),
+        "expected at least one sampled slow span tree in the dump"
+    );
+
+    // The frozen node stays observable: Introspect answers while the
+    // data plane hangs, and reports the in-flight produce.
+    let intro = client
+        .call(
+            broker,
+            OpCode::Introspect,
+            kera::wire::messages::IntrospectRequest {
+                sections: kera::wire::messages::introspect_sections::HEALTH,
+            }
+            .encode(),
+            Duration::from_secs(2),
+        )
+        .unwrap();
+    let intro = kera::wire::messages::IntrospectResponse::decode(&intro).unwrap();
+    assert!(intro.inflight >= 1, "frozen broker must report its stuck produce in flight");
+    assert_eq!(intro.watchdog_ms, 150);
+
+    // Thaw: the stalled produce completes and ingest resumes.
+    cluster.thaw_broker(frozen_ix);
+    hung.join().unwrap().expect("produce must complete after thaw");
+    client
+        .call(broker, OpCode::Produce, produce_req(make_chunk()).encode(), Duration::from_secs(5))
+        .unwrap();
+    cluster.shutdown();
+}

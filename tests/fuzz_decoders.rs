@@ -60,6 +60,49 @@ proptest! {
         let _ = CrashReassignmentResponse::decode(&data);
         let _ = QuotaStateRequest::decode(&data);
         let _ = QuotaStateResponse::decode(&data);
+        let _ = IntrospectRequest::decode(&data);
+        let _ = IntrospectResponse::decode(&data);
+    }
+
+    /// The introspection wire surface: a real `IntrospectResponse` (JSON
+    /// bodies included) truncated or bit-flipped anywhere either fails to
+    /// decode or decodes to a response that re-encodes without panicking —
+    /// scrapers parse these off the network from arbitrary nodes.
+    #[test]
+    fn mangled_introspect_response_never_panics(
+        node in 0u32..5000,
+        role in 0u8..3,
+        lag in 0u64..(1 << 30),
+        cut_num in 0usize..10_000,
+        flip_byte in 0usize..10_000,
+        flip_bit in 0u8..8,
+    ) {
+        let resp = IntrospectResponse {
+            node,
+            role,
+            is_leader: role == introspect_role::COORDINATOR,
+            term: 3,
+            appended_bytes: lag * 2,
+            durable_bytes: lag,
+            metrics_json: "{\"counters\":{\"kera.rpc.calls{node=\\\"1\\\"}\":4}}".into(),
+            traces_json: "[{\"stage\":\"append\",\"dur_ns\":123}]".into(),
+            ..IntrospectResponse::default()
+        };
+        let encoded = resp.encode().unwrap();
+
+        // Truncation anywhere: every proper prefix must fail (the fixed
+        // header and two length-prefixed strings bound every read).
+        let cut = cut_num % encoded.len();
+        prop_assert!(IntrospectResponse::decode(&encoded[..cut]).is_err(), "cut at {} decoded", cut);
+
+        // A single bit flip either fails to decode (bool/role/length
+        // corruption) or yields a response that re-encodes cleanly.
+        let mut mutant = encoded.to_vec();
+        let i = flip_byte % mutant.len();
+        mutant[i] ^= 1 << flip_bit;
+        if let Ok(decoded) = IntrospectResponse::decode(&mutant) {
+            let _ = decoded.encode();
+        }
     }
 
     /// The admission plane's wire surface (DESIGN.md §11): a `Throttled`
